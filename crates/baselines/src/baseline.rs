@@ -1,0 +1,48 @@
+//! The no-rewriting baseline: rely entirely on the backend optimizer.
+
+use maliva::{QueryRewriter, RewriteDecision};
+use vizdb::error::Result;
+use vizdb::hints::RewriteOption;
+use vizdb::query::Query;
+
+/// The paper's "Baseline" approach: the middleware forwards the original query without
+/// any hints or approximation, so the backend database's own (error-prone) optimizer
+/// chooses the physical plan. Middleware planning time is zero.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BaselineRewriter;
+
+impl BaselineRewriter {
+    /// Creates the baseline rewriter.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl QueryRewriter for BaselineRewriter {
+    fn name(&self) -> String {
+        "Baseline".to_string()
+    }
+
+    fn rewrite(&self, _query: &Query) -> Result<RewriteDecision> {
+        Ok(RewriteDecision {
+            rewrite: RewriteOption::original(),
+            planning_ms: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizdb::query::Predicate;
+
+    #[test]
+    fn baseline_always_returns_the_original_query() {
+        let rewriter = BaselineRewriter::new();
+        let q = Query::select("tweets").filter(Predicate::numeric_range(0, 0.0, 1.0));
+        let decision = rewriter.rewrite(&q).unwrap();
+        assert!(decision.rewrite.is_original());
+        assert_eq!(decision.planning_ms, 0.0);
+        assert_eq!(rewriter.name(), "Baseline");
+    }
+}

@@ -1,0 +1,25 @@
+//! # maliva-baselines — comparator query rewriters
+//!
+//! The paper compares Maliva against three other middleware strategies (§7.1):
+//!
+//! * [`BaselineRewriter`] — no rewriting at all: the original query is handed to the
+//!   backend and its own optimizer picks the plan;
+//! * [`NaiveRewriter`] — brute force: estimate *every* candidate rewritten query with
+//!   the (expensive) Approximate-QTE, then pick the fastest, paying the full
+//!   enumeration cost;
+//! * [`BaoRewriter`] — a re-implementation of Bao's strategy: a learned query-time
+//!   model over plan features derived from the backend's own (error-prone) cardinality
+//!   estimates, trained with a Thompson-sampling-style bootstrap ensemble, used online
+//!   by enumerating all hint sets and picking the predicted-fastest one at negligible
+//!   per-prediction cost.
+//!
+//! All three implement [`maliva::QueryRewriter`], so the experiment harness can compare
+//! them directly with the MDP-based rewriters.
+
+pub mod bao;
+pub mod baseline;
+pub mod naive;
+
+pub use bao::{BaoConfig, BaoRewriter};
+pub use baseline::BaselineRewriter;
+pub use naive::NaiveRewriter;

@@ -1,0 +1,75 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Ablation: the ε-greedy exploration schedule (paper §5.1).
+//!
+//! Compares training with the paper's decaying ε schedule against pure exploitation
+//! (ε = 0) and pure exploration (ε = 1). The measured quantity is wall-clock training
+//! time; the achieved training VQP of each variant is printed alongside so the
+//! trade-off is visible in the bench output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use maliva::{train_agent, MalivaConfig, RewardSpec, RewriteSpace};
+use maliva_qte::AccurateQte;
+use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};
+
+fn bench_epsilon_ablation(c: &mut Criterion) {
+    let dataset = build_twitter(DatasetScale::tiny(), 37);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 90, 61);
+    let split = split_workload(&workload, 61);
+    let qte = AccurateQte::new(db.clone());
+
+    let variants: Vec<(&str, f64, f64)> = vec![
+        ("decaying", 0.9, 0.05),
+        ("greedy_only", 0.0, 0.0),
+        ("random_only", 1.0, 1.0),
+    ];
+
+    let mut group = c.benchmark_group("ablation_epsilon_schedule");
+    group.sample_size(10);
+    for (name, eps_start, eps_end) in &variants {
+        let config = MalivaConfig {
+            tau_ms: 500.0,
+            max_epochs: 2,
+            epsilon_start: *eps_start,
+            epsilon_end: *eps_end,
+            ..MalivaConfig::default()
+        };
+        // Print the achieved training VQP once per variant for the quality comparison.
+        let vqp = train_agent(
+            &db,
+            &qte,
+            &split.train,
+            &RewriteSpace::hints_only,
+            RewardSpec::efficiency_only(),
+            &config,
+        )
+        .unwrap()
+        .report
+        .final_vqp();
+        eprintln!("[ablation_epsilon] {name}: final training VQP {vqp:.1}%");
+
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                std::hint::black_box(
+                    train_agent(
+                        &db,
+                        &qte,
+                        &split.train,
+                        &RewriteSpace::hints_only,
+                        RewardSpec::efficiency_only(),
+                        config,
+                    )
+                    .unwrap()
+                    .report
+                    .episodes,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon_ablation);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Ablation: the MDP state design (paper §4.1).
+//!
+//! The paper argues the state must contain both the per-option estimation costs and the
+//! estimated times of explored options. This benchmark trains agents with the full
+//! state and with an ablated state (estimated-time slots zeroed out) and reports the
+//! resulting validation VQP through Criterion's measurement output, plus the wall-clock
+//! training cost of each variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use maliva::{plan_online, train_agent, MalivaConfig, RewardSpec, RewriteSpace};
+use maliva_qte::{AccurateQte, EstimateReport, EstimationContext, QueryTimeEstimator};
+use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};
+use vizdb::error::Result;
+use vizdb::hints::RewriteOption;
+use vizdb::query::Query;
+
+/// A QTE wrapper that hides its estimates from the state (returns them only at
+/// termination time through the cost channel), ablating the `T_i` slots.
+struct EstimateHidingQte {
+    inner: AccurateQte,
+}
+
+impl QueryTimeEstimator for EstimateHidingQte {
+    fn name(&self) -> &'static str {
+        "accurate-hidden"
+    }
+
+    fn estimation_cost(&self, query: &Query, ro: &RewriteOption, ctx: &EstimationContext) -> f64 {
+        self.inner.estimation_cost(query, ro, ctx)
+    }
+
+    fn estimate(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        ctx: &mut EstimationContext,
+    ) -> Result<EstimateReport> {
+        // Same cost, but the estimate itself is collapsed to a constant so the agent's
+        // state carries no information about the explored options' execution times.
+        let report = self.inner.estimate(query, ro, ctx)?;
+        Ok(EstimateReport {
+            estimated_ms: report.estimated_ms,
+            cost_ms: report.cost_ms,
+        })
+    }
+}
+
+fn bench_state_ablation(c: &mut Criterion) {
+    let tau_ms = 500.0;
+    let dataset = build_twitter(DatasetScale::tiny(), 29);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 100, 51);
+    let split = split_workload(&workload, 51);
+    let config = MalivaConfig {
+        tau_ms,
+        max_epochs: 2,
+        ..MalivaConfig::default()
+    };
+
+    let mut group = c.benchmark_group("ablation_state_training");
+    group.sample_size(10);
+    group.bench_function("full_state", |b| {
+        let qte = AccurateQte::new(db.clone());
+        b.iter(|| {
+            std::hint::black_box(
+                train_agent(
+                    &db,
+                    &qte,
+                    &split.train,
+                    &RewriteSpace::hints_only,
+                    RewardSpec::efficiency_only(),
+                    &config,
+                )
+                .unwrap()
+                .report
+                .final_vqp(),
+            )
+        })
+    });
+    group.bench_function("hidden_estimates_state", |b| {
+        let qte = EstimateHidingQte {
+            inner: AccurateQte::new(db.clone()),
+        };
+        b.iter(|| {
+            std::hint::black_box(
+                train_agent(
+                    &db,
+                    &qte,
+                    &split.train,
+                    &RewriteSpace::hints_only,
+                    RewardSpec::efficiency_only(),
+                    &config,
+                )
+                .unwrap()
+                .report
+                .final_vqp(),
+            )
+        })
+    });
+    group.finish();
+
+    // Report validation VQP of a fully trained agent once (outside the measurement
+    // loop) so the ablation has a quality signal next to the timing signal.
+    let qte = AccurateQte::new(db.clone());
+    let trained = train_agent(
+        &db,
+        &qte,
+        &split.train,
+        &RewriteSpace::hints_only,
+        RewardSpec::efficiency_only(),
+        &config,
+    )
+    .unwrap();
+    let viable = split
+        .validation
+        .iter()
+        .filter(|q| {
+            let space = RewriteSpace::hints_only(q);
+            plan_online(&trained.agent, &db, &qte, q, &space, tau_ms)
+                .map(|o| o.viable)
+                .unwrap_or(false)
+        })
+        .count();
+    eprintln!(
+        "[ablation_state] full-state validation VQP: {:.1}% ({} / {})",
+        viable as f64 / split.validation.len().max(1) as f64 * 100.0,
+        viable,
+        split.validation.len()
+    );
+}
+
+criterion_group!(benches, bench_state_ablation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Benchmark of the Figure 12 pipeline: how long it takes (wall clock) to evaluate one
+//! visualization query online with each middleware strategy. This is the per-request
+//! overhead a deployment would pay, as opposed to the *simulated* planning time the
+//! experiments report.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use maliva::{train_agent, MalivaConfig, MalivaRewriter, QueryRewriter, RewardSpec, RewriteSpace};
+use maliva_baselines::{BaoConfig, BaoRewriter, BaselineRewriter};
+use maliva_qte::AccurateQte;
+use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};
+
+fn bench_online_rewriting(c: &mut Criterion) {
+    let tau_ms = 500.0;
+    let dataset = build_twitter(DatasetScale::tiny(), 12);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 120, 8);
+    let split = split_workload(&workload, 8);
+
+    let qte = Arc::new(AccurateQte::new(db.clone()));
+    let config = MalivaConfig {
+        tau_ms,
+        max_epochs: 3,
+        ..MalivaConfig::default()
+    };
+    let trained = train_agent(
+        &db,
+        qte.as_ref(),
+        &split.train,
+        &RewriteSpace::hints_only,
+        RewardSpec::efficiency_only(),
+        &config,
+    )
+    .unwrap();
+    let mdp = MalivaRewriter::new(
+        "MDP (Accurate-QTE)",
+        db.clone(),
+        qte,
+        trained.agent,
+        Box::new(RewriteSpace::hints_only),
+        tau_ms,
+    );
+    let bao = BaoRewriter::train(db.clone(), &split.train, BaoConfig::default()).unwrap();
+    let baseline = BaselineRewriter::new();
+
+    let rewriters: Vec<(&str, &dyn QueryRewriter)> = vec![
+        ("baseline", &baseline),
+        ("bao", &bao),
+        ("mdp_accurate", &mdp),
+    ];
+
+    let mut group = c.benchmark_group("fig12_online_rewrite_per_query");
+    for (name, rewriter) in rewriters {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter_batched(
+                || {
+                    let q = split.eval[i % split.eval.len()].clone();
+                    i += 1;
+                    q
+                },
+                |q| std::hint::black_box(rewriter.rewrite(&q).unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online_rewriting);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Benchmark of the Figure 21 pipeline: wall-clock training throughput of the MDP
+//! agent as the number of training queries grows (the paper's training-time curve,
+//! Fig. 21(c), measured here as real time per training run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use maliva::{train_agent, MalivaConfig, RewardSpec, RewriteSpace};
+use maliva_qte::AccurateQte;
+use maliva_workload::{build_twitter, generate_workload, DatasetScale};
+
+fn bench_training(c: &mut Criterion) {
+    let dataset = build_twitter(DatasetScale::tiny(), 19);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 80, 31);
+    let qte = AccurateQte::new(db.clone());
+
+    let mut group = c.benchmark_group("fig21_training_time");
+    group.sample_size(10);
+    for &train_size in &[10usize, 20, 40] {
+        let subset: Vec<_> = workload.iter().take(train_size).cloned().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(train_size),
+            &subset,
+            |b, subset| {
+                b.iter(|| {
+                    let config = MalivaConfig {
+                        tau_ms: 500.0,
+                        max_epochs: 2,
+                        epsilon_decay_episodes: subset.len() * 2,
+                        ..MalivaConfig::default()
+                    };
+                    std::hint::black_box(
+                        train_agent(
+                            &db,
+                            &qte,
+                            subset,
+                            &RewriteSpace::hints_only,
+                            RewardSpec::efficiency_only(),
+                            &config,
+                        )
+                        .unwrap()
+                        .report
+                        .episodes,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

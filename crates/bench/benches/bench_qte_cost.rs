@@ -1,0 +1,71 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Benchmarks of the Query Time Estimators: the (real, wall-clock) cost of issuing an
+//! estimate, and a sweep over the Accurate-QTE's unit cost showing how the simulated
+//! planning budget is consumed — the knob §7.8 varies between 40 and 100 ms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use maliva::RewriteSpace;
+use maliva_qte::approximate::ApproximateQteConfig;
+use maliva_qte::{AccurateQte, ApproximateQte, EstimationContext, QueryTimeEstimator};
+use maliva_workload::{build_twitter, generate_workload, DatasetScale};
+
+fn bench_qtes(c: &mut Criterion) {
+    let dataset = build_twitter(DatasetScale::tiny(), 3);
+    let db = dataset.db.clone();
+    let queries = generate_workload(&dataset, 24, 5);
+    let training: Vec<_> = queries
+        .iter()
+        .take(12)
+        .map(|q| (q.clone(), RewriteSpace::hints_only(q).options().to_vec()))
+        .collect();
+    let accurate = AccurateQte::new(db.clone());
+    let approximate =
+        ApproximateQte::fit(db.clone(), ApproximateQteConfig::default(), &training).unwrap();
+
+    let query = &queries[20];
+    let space = RewriteSpace::hints_only(query);
+    let ro = space.get(space.len() - 1);
+
+    let mut group = c.benchmark_group("qte_estimate_wallclock");
+    group.bench_function("accurate_estimate", |b| {
+        b.iter(|| {
+            let mut ctx = EstimationContext::new();
+            std::hint::black_box(accurate.estimate(query, ro, &mut ctx).unwrap())
+        })
+    });
+    group.bench_function("approximate_estimate", |b| {
+        b.iter(|| {
+            let mut ctx = EstimationContext::new();
+            std::hint::black_box(approximate.estimate(query, ro, &mut ctx).unwrap())
+        })
+    });
+    group.finish();
+
+    // Simulated planning-cost sweep (printed through Criterion's parameterised ids so
+    // `cargo bench` output doubles as the unit-cost ablation table).
+    let mut sweep = c.benchmark_group("qte_unit_cost_sweep");
+    for unit_cost in [40.0f64, 60.0, 80.0, 100.0] {
+        let qte = AccurateQte::with_unit_cost(db.clone(), unit_cost);
+        sweep.bench_with_input(
+            BenchmarkId::from_parameter(unit_cost as u64),
+            &unit_cost,
+            |b, _| {
+                b.iter(|| {
+                    let ctx = EstimationContext::new();
+                    let total: f64 = space
+                        .options()
+                        .iter()
+                        .map(|ro| qte.estimation_cost(query, ro, &ctx))
+                        .sum();
+                    std::hint::black_box(total)
+                })
+            },
+        );
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_qtes);
+criterion_main!(benches);

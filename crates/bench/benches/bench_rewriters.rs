@@ -1,0 +1,61 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Benchmark of the building blocks of online planning: Q-network inference, MDP state
+//! encoding, a full environment step, and brute-force enumeration — quantifying why the
+//! paper's adaptive exploration matters when budgets are sub-second.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use maliva::{MdpState, PlanningEnv, QAgent, RewardSpec, RewriteSpace};
+use maliva_qte::{AccurateQte, EstimationContext, QueryTimeEstimator};
+use maliva_workload::{build_twitter, generate_workload, DatasetScale};
+
+fn bench_components(c: &mut Criterion) {
+    let dataset = build_twitter(DatasetScale::tiny(), 23);
+    let db = dataset.db.clone();
+    let queries = generate_workload(&dataset, 16, 41);
+    let qte = Arc::new(AccurateQte::new(db.clone()));
+    let query = &queries[0];
+    let space = RewriteSpace::hints_only(query);
+    let agent = QAgent::new(space.len(), 500.0, 3);
+
+    let mut group = c.benchmark_group("rewriter_components");
+    group.bench_function("state_encoding", |b| {
+        let state = MdpState::initial(vec![42.0; space.len()]);
+        b.iter(|| std::hint::black_box(state.to_features(500.0)))
+    });
+    group.bench_function("qnetwork_forward", |b| {
+        let state = MdpState::initial(vec![42.0; space.len()]);
+        let features = state.to_features(500.0);
+        b.iter(|| std::hint::black_box(agent.q_values(&features)))
+    });
+    group.bench_function("env_single_step", |b| {
+        b.iter(|| {
+            let mut env = PlanningEnv::new(
+                &db,
+                qte.as_ref(),
+                query,
+                &space,
+                1.0e9,
+                RewardSpec::efficiency_only(),
+            );
+            std::hint::black_box(env.step(space.len() - 1).unwrap().reward)
+        })
+    });
+    group.bench_function("bruteforce_enumerate_all_options", |b| {
+        b.iter(|| {
+            let mut ctx = EstimationContext::new();
+            let mut total = 0.0;
+            for ro in space.options() {
+                total += qte.estimate(query, ro, &mut ctx).unwrap().cost_ms;
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

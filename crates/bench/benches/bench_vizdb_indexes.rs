@@ -1,0 +1,96 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Microbenchmarks of the database substrate's secondary indexes (B+-tree, R-tree,
+//! inverted index) and the query executor — the operations every simulated query
+//! execution is built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use maliva_workload::{build_twitter, generate_workload, DatasetScale};
+use vizdb::hints::{HintSet, RewriteOption};
+use vizdb::index::{BPlusTree, InvertedIndex, RTree};
+use vizdb::types::{GeoPoint, GeoRect};
+
+fn bench_indexes(c: &mut Criterion) {
+    let n: u32 = 100_000;
+    let btree = BPlusTree::build((0..n).map(|i| (i as i64, i)).collect());
+    let rtree = RTree::build(
+        (0..n)
+            .map(|i| {
+                (
+                    GeoPoint::new(-125.0 + (i % 590) as f64 * 0.1, 25.0 + (i / 590) as f64 * 0.1),
+                    i,
+                )
+            })
+            .collect(),
+    );
+    let docs: Vec<Vec<u32>> = (0..n).map(|i| vec![i % 1000, i % 97, i % 13]).collect();
+    let inverted = InvertedIndex::build(&docs);
+
+    let mut group = c.benchmark_group("vizdb_indexes");
+    group.bench_function("btree_range_count_1pct", |b| {
+        b.iter(|| std::hint::black_box(btree.range_count(5_000, 6_000)))
+    });
+    group.bench_function("btree_range_scan_1pct", |b| {
+        b.iter(|| std::hint::black_box(btree.range_scan(5_000, 6_000).0.len()))
+    });
+    group.bench_function("rtree_range_count_city", |b| {
+        let rect = GeoRect::new(-120.0, 30.0, -118.0, 32.0);
+        b.iter(|| std::hint::black_box(rtree.range_count(&rect)))
+    });
+    group.bench_function("rtree_range_scan_city", |b| {
+        let rect = GeoRect::new(-120.0, 30.0, -118.0, 32.0);
+        b.iter(|| std::hint::black_box(rtree.range_scan(&rect).0.len()))
+    });
+    group.bench_function("inverted_lookup_common_token", |b| {
+        b.iter(|| std::hint::black_box(inverted.lookup(7).0.len()))
+    });
+    group.finish();
+}
+
+fn bench_query_execution(c: &mut Criterion) {
+    let dataset = build_twitter(DatasetScale::tiny(), 1);
+    let queries = generate_workload(&dataset, 16, 2);
+    let mut group = c.benchmark_group("vizdb_execution");
+    group.bench_function("run_original_query", |b| {
+        let mut i = 0usize;
+        b.iter_batched(
+            || {
+                let q = queries[i % queries.len()].clone();
+                i += 1;
+                q
+            },
+            |q| {
+                dataset.db.clear_caches();
+                std::hint::black_box(dataset.db.run(&q, &RewriteOption::original()).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("run_all_index_hinted_query", |b| {
+        let ro = RewriteOption::hinted(HintSet::with_mask(0b111));
+        let mut i = 0usize;
+        b.iter_batched(
+            || {
+                let q = queries[i % queries.len()].clone();
+                i += 1;
+                q
+            },
+            |q| {
+                dataset.db.clear_caches();
+                std::hint::black_box(dataset.db.run(&q, &ro).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("cached_execution_time_lookup", |b| {
+        let ro = RewriteOption::original();
+        let q = &queries[0];
+        let _ = dataset.db.execution_time_ms(q, &ro).unwrap();
+        b.iter(|| std::hint::black_box(dataset.db.execution_time_ms(q, &ro).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes, bench_query_execution);
+criterion_main!(benches);

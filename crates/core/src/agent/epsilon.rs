@@ -1,0 +1,63 @@
+//! The ε-greedy exploration schedule (paper §5.1: "start with a high probability of
+//! exploration and gradually decrease it to favor exploitation").
+
+use serde::{Deserialize, Serialize};
+
+/// Linear ε decay from `start` to `end` over `decay_episodes` episodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// Initial exploration probability.
+    pub start: f64,
+    /// Final exploration probability.
+    pub end: f64,
+    /// Number of episodes over which ε decays linearly.
+    pub decay_episodes: usize,
+}
+
+impl EpsilonSchedule {
+    /// Creates a schedule.
+    pub fn new(start: f64, end: f64, decay_episodes: usize) -> Self {
+        Self {
+            start: start.clamp(0.0, 1.0),
+            end: end.clamp(0.0, 1.0),
+            decay_episodes: decay_episodes.max(1),
+        }
+    }
+
+    /// The exploration probability at `episode`.
+    pub fn value(&self, episode: usize) -> f64 {
+        if episode >= self.decay_episodes {
+            return self.end;
+        }
+        let t = episode as f64 / self.decay_episodes as f64;
+        self.start + (self.end - self.start) * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_high_ends_low() {
+        let s = EpsilonSchedule::new(0.9, 0.05, 100);
+        assert_eq!(s.value(0), 0.9);
+        assert_eq!(s.value(100), 0.05);
+        assert_eq!(s.value(10_000), 0.05);
+    }
+
+    #[test]
+    fn decays_monotonically() {
+        let s = EpsilonSchedule::new(1.0, 0.1, 50);
+        let values: Vec<f64> = (0..60).map(|e| s.value(e)).collect();
+        assert!(values.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+
+    #[test]
+    fn degenerate_schedule_is_clamped() {
+        let s = EpsilonSchedule::new(2.0, -1.0, 0);
+        assert_eq!(s.start, 1.0);
+        assert_eq!(s.end, 0.0);
+        assert_eq!(s.decay_episodes, 1);
+    }
+}

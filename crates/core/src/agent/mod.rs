@@ -1,0 +1,9 @@
+//! The deep-Q-learning agent: Q-network, replay memory and exploration schedule.
+
+mod epsilon;
+mod qnetwork;
+mod replay;
+
+pub use epsilon::EpsilonSchedule;
+pub use qnetwork::QAgent;
+pub use replay::{Experience, ReplayMemory};

@@ -1,0 +1,233 @@
+//! The Q-network agent (paper Fig. 8): a small MLP mapping an MDP state to one Q-value
+//! per rewrite option.
+
+use maliva_nn::{Adam, Mlp};
+use serde::{Deserialize, Serialize};
+
+use crate::agent::replay::Experience;
+use crate::mdp::MdpState;
+
+/// A Q-learning agent over a fixed-size rewrite space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QAgent {
+    network: Mlp,
+    target_network: Mlp,
+    n_actions: usize,
+    tau_ms: f64,
+}
+
+impl QAgent {
+    /// Creates an agent for a rewrite space of `n_actions` options and a budget of
+    /// `tau_ms` (used to normalise state features). The network has two hidden layers
+    /// sized like the input layer, as in the paper.
+    pub fn new(n_actions: usize, tau_ms: f64, seed: u64) -> Self {
+        let input = MdpState::feature_dim(n_actions);
+        let hidden = input.max(8);
+        let network = Mlp::new(&[input, hidden, hidden, n_actions], seed);
+        let target_network = network.clone();
+        Self {
+            network,
+            target_network,
+            n_actions,
+            tau_ms,
+        }
+    }
+
+    /// Number of actions (rewrite options) the agent chooses between.
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// The budget the agent was trained for.
+    pub fn tau_ms(&self) -> f64 {
+        self.tau_ms
+    }
+
+    /// Q-values of every action for an encoded state.
+    pub fn q_values(&self, features: &[f64]) -> Vec<f64> {
+        self.network.forward(features)
+    }
+
+    /// Q-values of every action for an [`MdpState`].
+    pub fn q_values_of(&self, state: &MdpState) -> Vec<f64> {
+        self.q_values(&state.to_features(self.tau_ms))
+    }
+
+    /// The remaining action with the highest Q-value (paper Algorithm 2 line 5).
+    ///
+    /// # Panics
+    /// Panics when `remaining` is empty.
+    pub fn best_action(&self, state: &MdpState, remaining: &[usize]) -> usize {
+        assert!(!remaining.is_empty(), "no remaining actions to choose from");
+        let q = self.q_values_of(state);
+        *remaining
+            .iter()
+            .max_by(|&&a, &&b| {
+                q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty remaining set")
+    }
+
+    /// Highest Q-value among `remaining` actions of the *target* network for an encoded
+    /// state; 0 when no actions remain.
+    fn target_max(&self, features: &[f64], remaining: &[usize]) -> f64 {
+        if remaining.is_empty() {
+            return 0.0;
+        }
+        let q = self.target_network.forward(features);
+        remaining
+            .iter()
+            .map(|&a| q[a])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Performs one Q-learning update over a minibatch of experiences and returns the
+    /// mean squared Bellman error before the update.
+    pub fn train_on_batch(&mut self, batch: &[&Experience], gamma: f64, opt: &mut Adam) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for exp in batch {
+            let target = if exp.terminal {
+                exp.reward
+            } else {
+                exp.reward + gamma * self.target_max(&exp.next_state, &exp.next_remaining)
+            };
+            total += self
+                .network
+                .train_step_masked(&exp.state, exp.action, target, opt);
+        }
+        total / batch.len() as f64
+    }
+
+    /// Copies the online network into the target network.
+    pub fn sync_target(&mut self) {
+        self.target_network.copy_weights_from(&self.network);
+    }
+
+    /// Serialises the agent to JSON (for saving trained agents to disk).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("agent serialisation cannot fail")
+    }
+
+    /// Restores an agent serialised with [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(n: usize) -> MdpState {
+        MdpState::initial(vec![40.0; n])
+    }
+
+    #[test]
+    fn q_values_have_one_entry_per_action() {
+        let agent = QAgent::new(8, 500.0, 1);
+        assert_eq!(agent.q_values_of(&state(8)).len(), 8);
+        assert_eq!(agent.n_actions(), 8);
+    }
+
+    #[test]
+    fn best_action_respects_remaining_mask() {
+        let agent = QAgent::new(4, 500.0, 3);
+        let s = state(4);
+        let best_all = agent.best_action(&s, &[0, 1, 2, 3]);
+        assert!(best_all < 4);
+        let restricted = agent.best_action(&s, &[2]);
+        assert_eq!(restricted, 2);
+    }
+
+    #[test]
+    fn training_moves_q_value_towards_target() {
+        let mut agent = QAgent::new(3, 500.0, 5);
+        let s = state(3);
+        let features = s.to_features(500.0);
+        let exp = Experience {
+            state: features.clone(),
+            action: 1,
+            next_state: features.clone(),
+            reward: 0.8,
+            terminal: true,
+            next_remaining: vec![],
+        };
+        let mut opt = Adam::new(0.01);
+        for _ in 0..300 {
+            agent.train_on_batch(&[&exp], 0.97, &mut opt);
+        }
+        let q = agent.q_values(&features);
+        assert!((q[1] - 0.8).abs() < 0.1, "q[1] = {}", q[1]);
+    }
+
+    #[test]
+    fn non_terminal_targets_use_target_network_max() {
+        let mut agent = QAgent::new(2, 500.0, 9);
+        // Make the target network produce distinct values by syncing after training the
+        // online network a bit; here we only check that training does not panic and the
+        // bellman error is finite.
+        let s = state(2).to_features(500.0);
+        let exp = Experience {
+            state: s.clone(),
+            action: 0,
+            next_state: s,
+            reward: 0.1,
+            terminal: false,
+            next_remaining: vec![1],
+        };
+        let mut opt = Adam::new(0.005);
+        let err = agent.train_on_batch(&[&exp], 0.9, &mut opt);
+        assert!(err.is_finite());
+    }
+
+    #[test]
+    fn sync_target_aligns_predictions() {
+        let mut agent = QAgent::new(3, 500.0, 2);
+        let s = state(3).to_features(500.0);
+        let exp = Experience {
+            state: s.clone(),
+            action: 0,
+            next_state: s.clone(),
+            reward: 1.0,
+            terminal: true,
+            next_remaining: vec![],
+        };
+        let mut opt = Adam::new(0.02);
+        for _ in 0..50 {
+            agent.train_on_batch(&[&exp], 0.9, &mut opt);
+        }
+        // Target network still predicts the old values until synced.
+        let online_before = agent.network.forward(&s);
+        let target_before = agent.target_network.forward(&s);
+        assert_ne!(online_before, target_before);
+        agent.sync_target();
+        assert_eq!(agent.network.forward(&s), agent.target_network.forward(&s));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let agent = QAgent::new(5, 250.0, 11);
+        let s = state(5);
+        let json = agent.to_json();
+        let restored = QAgent::from_json(&json).unwrap();
+        assert_eq!(agent.q_values_of(&s), restored.q_values_of(&s));
+        assert_eq!(restored.tau_ms(), 250.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut agent = QAgent::new(2, 500.0, 0);
+        let mut opt = Adam::new(0.01);
+        assert_eq!(agent.train_on_batch(&[], 0.9, &mut opt), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no remaining actions")]
+    fn best_action_requires_remaining() {
+        let agent = QAgent::new(2, 500.0, 0);
+        let _ = agent.best_action(&state(2), &[]);
+    }
+}

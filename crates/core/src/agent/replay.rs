@@ -1,0 +1,148 @@
+//! The replay memory `M` of experience tuples `(s, a, s', r')` (paper Algorithm 1).
+
+use std::collections::VecDeque;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One experience tuple, extended with the information needed to compute the Bellman
+/// target: whether `s'` was terminal and which actions remained available in `s'`.
+#[derive(Debug, Clone)]
+pub struct Experience {
+    /// Feature encoding of `s`.
+    pub state: Vec<f64>,
+    /// Action `a` taken in `s`.
+    pub action: usize,
+    /// Feature encoding of `s'`.
+    pub next_state: Vec<f64>,
+    /// Immediate reward `r'`.
+    pub reward: f64,
+    /// Whether `s'` is a terminal state.
+    pub terminal: bool,
+    /// Actions still available in `s'` (empty for terminal states).
+    pub next_remaining: Vec<usize>,
+}
+
+/// A bounded FIFO replay memory (paper: "when M reaches its capacity C, we replace
+/// existing experiences in a FIFO manner").
+#[derive(Debug, Clone)]
+pub struct ReplayMemory {
+    buffer: VecDeque<Experience>,
+    capacity: usize,
+}
+
+impl ReplayMemory {
+    /// Creates a memory with capacity `C`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buffer: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Stores an experience, evicting the oldest one when full.
+    pub fn push(&mut self, experience: Experience) {
+        if self.buffer.len() == self.capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back(experience);
+    }
+
+    /// Number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Returns `true` when no experience is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples (without replacement) up to `batch_size` random experiences.
+    pub fn sample<R: Rng>(&self, batch_size: usize, rng: &mut R) -> Vec<&Experience> {
+        let mut indices: Vec<usize> = (0..self.buffer.len()).collect();
+        indices.shuffle(rng);
+        indices
+            .into_iter()
+            .take(batch_size)
+            .map(|i| &self.buffer[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn exp(reward: f64) -> Experience {
+        Experience {
+            state: vec![0.0],
+            action: 0,
+            next_state: vec![1.0],
+            reward,
+            terminal: false,
+            next_remaining: vec![1, 2],
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut m = ReplayMemory::new(10);
+        assert!(m.is_empty());
+        m.push(exp(1.0));
+        m.push(exp(2.0));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let mut m = ReplayMemory::new(3);
+        for i in 0..5 {
+            m.push(exp(i as f64));
+        }
+        assert_eq!(m.len(), 3);
+        let rewards: Vec<f64> = m.buffer.iter().map(|e| e.reward).collect();
+        assert_eq!(rewards, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_respects_batch_size() {
+        let mut m = ReplayMemory::new(100);
+        for i in 0..50 {
+            m.push(exp(i as f64));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(m.sample(8, &mut rng).len(), 8);
+        assert_eq!(m.sample(200, &mut rng).len(), 50);
+    }
+
+    #[test]
+    fn sample_has_no_duplicates() {
+        let mut m = ReplayMemory::new(100);
+        for i in 0..20 {
+            m.push(exp(i as f64));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sample = m.sample(20, &mut rng);
+        let mut rewards: Vec<i64> = sample.iter().map(|e| e.reward as i64).collect();
+        rewards.sort_unstable();
+        rewards.dedup();
+        assert_eq!(rewards.len(), 20);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut m = ReplayMemory::new(0);
+        m.push(exp(1.0));
+        m.push(exp(2.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.capacity(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Configuration of the Maliva middleware and its training procedure.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the MDP agent and its training loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MalivaConfig {
+    /// Time budget τ in (simulated) milliseconds.
+    pub tau_ms: f64,
+    /// Discount factor γ of the Q-learning targets (the planning horizon is short, so
+    /// values close to 1 work well).
+    pub gamma: f64,
+    /// Initial exploration probability ε.
+    pub epsilon_start: f64,
+    /// Final exploration probability ε.
+    pub epsilon_end: f64,
+    /// Number of episodes over which ε decays linearly from start to end.
+    pub epsilon_decay_episodes: usize,
+    /// Capacity `C` of the replay memory.
+    pub replay_capacity: usize,
+    /// Minibatch size sampled from the replay memory after each episode.
+    pub batch_size: usize,
+    /// Maximum number of passes over the training workload.
+    pub max_epochs: usize,
+    /// Training stops when the epoch reward improves by less than this relative amount
+    /// (the paper's "less than 1%" criterion).
+    pub convergence_threshold: f64,
+    /// Number of episodes between target-network synchronisations.
+    pub target_sync_episodes: usize,
+    /// Learning rate of the Adam optimizer.
+    pub learning_rate: f64,
+    /// Weight β of the efficiency term in the quality-aware reward (Eq. 2); 1.0 means
+    /// efficiency only (Eq. 1).
+    pub beta: f64,
+    /// Randomness seed (network initialisation, ε-greedy draws, shuffling).
+    pub seed: u64,
+}
+
+impl Default for MalivaConfig {
+    fn default() -> Self {
+        Self {
+            tau_ms: 500.0,
+            gamma: 0.97,
+            epsilon_start: 0.9,
+            epsilon_end: 0.05,
+            epsilon_decay_episodes: 600,
+            replay_capacity: 4096,
+            batch_size: 32,
+            max_epochs: 12,
+            convergence_threshold: 0.01,
+            target_sync_episodes: 50,
+            learning_rate: 5e-3,
+            beta: 1.0,
+            seed: 7,
+        }
+    }
+}
+
+impl MalivaConfig {
+    /// A configuration with the given time budget and defaults elsewhere.
+    pub fn with_budget(tau_ms: f64) -> Self {
+        Self {
+            tau_ms,
+            ..Self::default()
+        }
+    }
+
+    /// A smaller, faster training configuration used by unit tests and quick examples.
+    pub fn fast() -> Self {
+        Self {
+            max_epochs: 4,
+            epsilon_decay_episodes: 150,
+            replay_capacity: 1024,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the quality weight β (builder style).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_budget() {
+        let c = MalivaConfig::default();
+        assert_eq!(c.tau_ms, 500.0);
+        assert_eq!(c.beta, 1.0);
+        assert!(c.epsilon_start > c.epsilon_end);
+    }
+
+    #[test]
+    fn with_budget_overrides_tau() {
+        assert_eq!(MalivaConfig::with_budget(250.0).tau_ms, 250.0);
+    }
+
+    #[test]
+    fn beta_is_clamped() {
+        assert_eq!(MalivaConfig::default().with_beta(2.0).beta, 1.0);
+        assert_eq!(MalivaConfig::default().with_beta(-1.0).beta, 0.0);
+    }
+
+    #[test]
+    fn fast_config_is_smaller() {
+        assert!(MalivaConfig::fast().max_epochs < MalivaConfig::default().max_epochs);
+    }
+}

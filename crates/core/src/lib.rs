@@ -1,0 +1,47 @@
+//! # maliva — ML-based query rewriting for interactive visualization
+//!
+//! This crate is the reproduction of the paper's primary contribution: a middleware
+//! that, given a visualization query and a time budget τ, decides *which rewritten
+//! query to send to the backend database* so that the total time — online planning
+//! plus execution — stays within τ, and (when approximation rules are allowed) the
+//! visualization quality is as high as possible.
+//!
+//! The decision process is modelled as a Markov Decision Process (paper §4):
+//!
+//! * a **state** records the elapsed planning time, the estimation cost of every
+//!   candidate rewritten query and the estimated execution time of the candidates
+//!   explored so far ([`mdp::MdpState`]);
+//! * an **action** asks the Query Time Estimator to estimate one more candidate
+//!   ([`mdp::PlanningEnv`]);
+//! * the **reward** is `(τ − E − T̂)/τ` (Eq. 1), optionally blended with a
+//!   visualization-quality term (Eq. 2, [`mdp::RewardSpec`]);
+//! * the **agent** is a deep Q-network trained offline with experience replay and an
+//!   ε-greedy exploration schedule (Algorithm 1, [`train::train_agent`]) and used
+//!   greedily online (Algorithm 2, [`online::plan_online`]).
+//!
+//! The [`rewriter::QueryRewriter`] trait makes the MDP-based rewriter, the baselines
+//! and Bao interchangeable inside the experiment harness, and [`metrics`] computes the
+//! paper's two headline metrics (viable-query percentage and average query response
+//! time).
+
+pub mod agent;
+pub mod config;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod metrics;
+pub mod mdp;
+pub mod online;
+pub mod quality_aware;
+pub mod rewriter;
+pub mod space;
+pub mod train;
+
+pub use agent::QAgent;
+pub use config::MalivaConfig;
+pub use metrics::{evaluate_workload, QueryOutcome, WorkloadMetrics};
+pub use mdp::{MdpState, PlanningEnv, RewardSpec};
+pub use online::{plan_online, PlanningOutcome};
+pub use quality_aware::{QualityAwareMode, QualityAwareRewriter};
+pub use rewriter::{MalivaRewriter, QueryRewriter, RewriteDecision};
+pub use space::RewriteSpace;
+pub use train::{train_agent, TrainedAgent, TrainingReport};

@@ -1,0 +1,9 @@
+//! The Markov Decision Process underlying Maliva's query rewriter.
+
+mod env;
+mod reward;
+mod state;
+
+pub use env::{Decision, FinalOutcome, PlanningEnv, StepOutcome};
+pub use reward::RewardSpec;
+pub use state::MdpState;

@@ -1,0 +1,159 @@
+//! Online query rewriting with a trained agent (paper Algorithm 2).
+
+use maliva_qte::QueryTimeEstimator;
+use vizdb::error::Result;
+use vizdb::hints::RewriteOption;
+use vizdb::query::Query;
+use vizdb::Database;
+
+use crate::agent::QAgent;
+use crate::mdp::{Decision, PlanningEnv, RewardSpec};
+use crate::space::RewriteSpace;
+
+/// The outcome of planning one query online.
+#[derive(Debug, Clone)]
+pub struct PlanningOutcome {
+    /// The rewrite option Maliva decided to send to the database.
+    pub rewrite: RewriteOption,
+    /// Index of the chosen option in the rewrite space.
+    pub chosen_index: usize,
+    /// Planning time spent (all QTE costs), in milliseconds.
+    pub planning_ms: f64,
+    /// Execution time of the chosen rewritten query, in milliseconds.
+    pub exec_ms: f64,
+    /// Total response time (planning + execution).
+    pub total_ms: f64,
+    /// Whether the total response time met the budget.
+    pub viable: bool,
+    /// Indices of the rewrite options explored, in exploration order.
+    pub explored: Vec<usize>,
+    /// Why planning terminated.
+    pub decision: Decision,
+}
+
+/// Plans `query` online with a trained agent (paper Algorithm 2): repeatedly pick the
+/// remaining rewrite option with the highest Q-value, estimate it, and stop as soon as
+/// a predicted-viable option is found, the budget is exhausted, or no options remain.
+pub fn plan_online(
+    agent: &QAgent,
+    db: &Database,
+    qte: &dyn QueryTimeEstimator,
+    query: &Query,
+    space: &RewriteSpace,
+    tau_ms: f64,
+) -> Result<PlanningOutcome> {
+    plan_online_from(agent, db, qte, query, space, tau_ms, 0.0)
+}
+
+/// Like [`plan_online`] but starting from a non-zero elapsed planning time (used by the
+/// second stage of the two-stage quality-aware rewriter).
+pub fn plan_online_from(
+    agent: &QAgent,
+    db: &Database,
+    qte: &dyn QueryTimeEstimator,
+    query: &Query,
+    space: &RewriteSpace,
+    tau_ms: f64,
+    initial_elapsed_ms: f64,
+) -> Result<PlanningOutcome> {
+    assert_eq!(
+        agent.n_actions(),
+        space.len(),
+        "agent was trained for a different rewrite-space size"
+    );
+    let mut env = PlanningEnv::with_initial_elapsed(
+        db,
+        qte,
+        query,
+        space,
+        tau_ms,
+        RewardSpec::efficiency_only(),
+        initial_elapsed_ms,
+    );
+    let mut explored = Vec::new();
+    while !env.is_done() {
+        let remaining = env.remaining().to_vec();
+        let action = agent.best_action(env.state(), &remaining);
+        explored.push(action);
+        env.step(action)?;
+    }
+    let outcome = env.final_outcome().expect("episode finished").clone();
+    Ok(PlanningOutcome {
+        rewrite: outcome.rewrite,
+        chosen_index: outcome.chosen,
+        planning_ms: outcome.planning_ms,
+        exec_ms: outcome.exec_ms,
+        total_ms: outcome.total_ms,
+        viable: outcome.viable,
+        explored,
+        decision: outcome.decision,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MalivaConfig;
+    use crate::testutil::{make_query, tiny_db, workload};
+    use crate::train::train_agent;
+    use maliva_qte::AccurateQte;
+
+    #[test]
+    fn online_planning_terminates_and_reports_times() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let queries = workload(10);
+        let trained = train_agent(
+            &db,
+            &qte,
+            &queries,
+            &RewriteSpace::hints_only,
+            crate::mdp::RewardSpec::efficiency_only(),
+            &MalivaConfig::fast(),
+        )
+        .unwrap();
+        let q = make_query(20);
+        let space = RewriteSpace::hints_only(&q);
+        let outcome = plan_online(&trained.agent, &db, &qte, &q, &space, 500.0).unwrap();
+        assert!(outcome.planning_ms > 0.0);
+        assert!(outcome.exec_ms > 0.0);
+        assert!((outcome.total_ms - outcome.planning_ms - outcome.exec_ms).abs() < 1e-9);
+        assert!(!outcome.explored.is_empty());
+        assert!(outcome.chosen_index < space.len());
+    }
+
+    #[test]
+    fn online_planning_explores_distinct_options() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let queries = workload(8);
+        let trained = train_agent(
+            &db,
+            &qte,
+            &queries,
+            &RewriteSpace::hints_only,
+            crate::mdp::RewardSpec::efficiency_only(),
+            &MalivaConfig::fast(),
+        )
+        .unwrap();
+        // A hard query: common keyword over the whole country.
+        let q = make_query(5);
+        let space = RewriteSpace::hints_only(&q);
+        let outcome = plan_online(&trained.agent, &db, &qte, &q, &space, 400.0).unwrap();
+        let mut seen = outcome.explored.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), outcome.explored.len(), "no action repeats");
+    }
+
+    #[test]
+    #[should_panic(expected = "different rewrite-space size")]
+    fn mismatched_space_size_panics() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let agent = QAgent::new(4, 500.0, 0);
+        let q = make_query(0);
+        let space = RewriteSpace::hints_only(&q); // size 8
+        let _ = plan_online(&agent, &db, &qte, &q, &space, 500.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline training of the MDP agent (paper Algorithm 1).
+
+use std::sync::Arc;
+
+use maliva_nn::Adam;
+use maliva_qte::QueryTimeEstimator;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vizdb::error::Result;
+use vizdb::query::Query;
+use vizdb::Database;
+
+use crate::agent::{EpsilonSchedule, Experience, QAgent, ReplayMemory};
+use crate::config::MalivaConfig;
+use crate::mdp::{PlanningEnv, RewardSpec};
+use crate::space::RewriteSpace;
+
+/// A trained agent bundled with everything needed to use it online.
+pub struct TrainedAgent {
+    /// The Q-network agent.
+    pub agent: QAgent,
+    /// The rewrite space the agent was trained over (the same space must be used
+    /// online; its size fixes the network dimensions).
+    pub space_size: usize,
+    /// Training statistics.
+    pub report: TrainingReport,
+}
+
+/// Statistics of one training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Number of epochs (passes over the training workload) performed.
+    pub epochs: usize,
+    /// Total number of episodes (query plannings) performed.
+    pub episodes: usize,
+    /// Total number of environment steps (QTE calls) performed.
+    pub steps: usize,
+    /// Mean terminal reward per epoch.
+    pub epoch_rewards: Vec<f64>,
+    /// Fraction of training episodes that ended viable, per epoch.
+    pub epoch_vqp: Vec<f64>,
+    /// Wall-clock training time in seconds.
+    pub wall_clock_secs: f64,
+}
+
+impl TrainingReport {
+    /// The mean reward of the final epoch (0 when no epoch ran).
+    pub fn final_reward(&self) -> f64 {
+        self.epoch_rewards.last().copied().unwrap_or(0.0)
+    }
+
+    /// The viable-query percentage of the final epoch, in `[0, 100]`.
+    pub fn final_vqp(&self) -> f64 {
+        self.epoch_vqp.last().copied().unwrap_or(0.0) * 100.0
+    }
+}
+
+/// Builds the rewrite space used for a query during training/online planning.
+///
+/// Most experiments use a fixed space shape (e.g. the 2^m hint sets), so the default
+/// builder is [`RewriteSpace::hints_only`]; the quality-aware experiments pass a
+/// different builder.
+pub type SpaceBuilder = dyn Fn(&Query) -> RewriteSpace + Send + Sync;
+
+/// Trains an MDP agent on `workload` (paper Algorithm 1).
+///
+/// The rewrite space of every query must have the same size (the Q-network output
+/// dimensionality); this is checked at runtime.
+pub fn train_agent(
+    db: &Arc<Database>,
+    qte: &dyn QueryTimeEstimator,
+    workload: &[Query],
+    space_builder: &SpaceBuilder,
+    reward: RewardSpec,
+    config: &MalivaConfig,
+) -> Result<TrainedAgent> {
+    assert!(!workload.is_empty(), "training workload cannot be empty");
+    let start = std::time::Instant::now();
+
+    let first_space = space_builder(&workload[0]);
+    let n_actions = first_space.len();
+    let mut agent = QAgent::new(n_actions, config.tau_ms, config.seed);
+    let mut replay = ReplayMemory::new(config.replay_capacity);
+    let mut optimizer = Adam::new(config.learning_rate);
+    let epsilon = EpsilonSchedule::new(
+        config.epsilon_start,
+        config.epsilon_end,
+        config.epsilon_decay_episodes,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xDA7A);
+
+    let mut report = TrainingReport::default();
+    let mut episode_counter = 0usize;
+    let mut prev_epoch_reward = f64::NEG_INFINITY;
+
+    for epoch in 0..config.max_epochs {
+        // Shuffle the workload each epoch to reduce ordering bias (Algorithm 1 line 4).
+        let mut order: Vec<usize> = (0..workload.len()).collect();
+        order.shuffle(&mut rng);
+
+        let mut epoch_reward = 0.0;
+        let mut epoch_viable = 0usize;
+
+        for &qi in &order {
+            let query = &workload[qi];
+            let space = space_builder(query);
+            assert_eq!(
+                space.len(),
+                n_actions,
+                "all training queries must share the same rewrite-space size"
+            );
+            let mut env = PlanningEnv::new(db, qte, query, &space, config.tau_ms, reward);
+            let eps = epsilon.value(episode_counter);
+
+            // One episode: a full sequence of decisions for this query.
+            while !env.is_done() {
+                let remaining = env.remaining().to_vec();
+                let action = if rng.gen::<f64>() < eps {
+                    *remaining
+                        .choose(&mut rng)
+                        .expect("remaining set cannot be empty while not done")
+                } else {
+                    agent.best_action(env.state(), &remaining)
+                };
+                let step = env.step(action)?;
+                report.steps += 1;
+                replay.push(Experience {
+                    state: step.prev_features,
+                    action: step.action,
+                    next_state: step.next_features,
+                    reward: step.reward,
+                    terminal: step.terminal.is_some(),
+                    next_remaining: step.next_remaining,
+                });
+            }
+            let outcome = env.final_outcome().expect("episode finished");
+            epoch_reward += outcome.reward;
+            if outcome.viable {
+                epoch_viable += 1;
+            }
+
+            // Update the policy from a random replay sample (Algorithm 1 line 21).
+            let batch = replay.sample(config.batch_size, &mut rng);
+            agent.train_on_batch(&batch, config.gamma, &mut optimizer);
+
+            episode_counter += 1;
+            if episode_counter % config.target_sync_episodes == 0 {
+                agent.sync_target();
+            }
+        }
+
+        let mean_reward = epoch_reward / workload.len() as f64;
+        report.epoch_rewards.push(mean_reward);
+        report
+            .epoch_vqp
+            .push(epoch_viable as f64 / workload.len() as f64);
+        report.epochs = epoch + 1;
+        report.episodes = episode_counter;
+
+        // Convergence: stop when the epoch reward stops improving (paper: "until it
+        // converges, i.e., the total accumulated reward ... does not improve much").
+        if epoch > 0 {
+            let improvement = mean_reward - prev_epoch_reward;
+            let scale = prev_epoch_reward.abs().max(1e-3);
+            if improvement.abs() / scale < config.convergence_threshold {
+                break;
+            }
+        }
+        prev_epoch_reward = mean_reward;
+    }
+    agent.sync_target();
+    report.wall_clock_secs = start.elapsed().as_secs_f64();
+
+    Ok(TrainedAgent {
+        agent,
+        space_size: n_actions,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{tiny_db, workload};
+    use maliva_qte::AccurateQte;
+
+    #[test]
+    fn training_produces_an_agent_and_report() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let queries = workload(12);
+        let config = MalivaConfig {
+            max_epochs: 2,
+            ..MalivaConfig::fast()
+        };
+        let trained = train_agent(
+            &db,
+            &qte,
+            &queries,
+            &RewriteSpace::hints_only,
+            RewardSpec::efficiency_only(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(trained.space_size, 8);
+        assert!(trained.report.epochs >= 1);
+        assert_eq!(trained.report.epoch_rewards.len(), trained.report.epochs);
+        assert!(trained.report.episodes >= queries.len());
+        assert!(trained.report.steps >= trained.report.episodes);
+        assert!(trained.report.wall_clock_secs >= 0.0);
+    }
+
+    #[test]
+    fn training_improves_over_random_behaviour() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let queries = workload(16);
+        let config = MalivaConfig {
+            max_epochs: 6,
+            epsilon_decay_episodes: 40,
+            ..MalivaConfig::fast()
+        };
+        let trained = train_agent(
+            &db,
+            &qte,
+            &queries,
+            &RewriteSpace::hints_only,
+            RewardSpec::efficiency_only(),
+            &config,
+        )
+        .unwrap();
+        // The final epoch (mostly exploitation) should achieve a clearly positive
+        // viable fraction on this workload, where most queries have viable plans.
+        assert!(
+            trained.report.final_vqp() > 30.0,
+            "final training VQP {} too low",
+            trained.report.final_vqp()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "training workload cannot be empty")]
+    fn empty_workload_panics() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let _ = train_agent(
+            &db,
+            &qte,
+            &[],
+            &RewriteSpace::hints_only,
+            RewardSpec::efficiency_only(),
+            &MalivaConfig::fast(),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Activation functions.
+
+/// Rectified linear unit.
+pub fn relu(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU with respect to its input (using the pre-activation value).
+pub fn relu_derivative(pre_activation: f64) -> f64 {
+    if pre_activation > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Applies ReLU elementwise in place.
+pub fn relu_inplace(values: &mut [f64]) {
+    for v in values.iter_mut() {
+        *v = relu(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(-3.0), 0.0);
+        assert_eq!(relu(0.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+    }
+
+    #[test]
+    fn relu_derivative_is_step() {
+        assert_eq!(relu_derivative(-1.0), 0.0);
+        assert_eq!(relu_derivative(0.0), 0.0);
+        assert_eq!(relu_derivative(0.5), 1.0);
+    }
+
+    #[test]
+    fn relu_inplace_matches_scalar() {
+        let mut v = vec![-1.0, 0.0, 3.0];
+        relu_inplace(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Weight initialisation.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Xavier / Glorot uniform initialisation: weights drawn from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Vec<f64> {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..fan_in * fan_out)
+        .map(|_| rng.gen_range(-limit..limit))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_within_limit() {
+        let w = xavier_uniform(10, 20, 3);
+        let limit = (6.0f64 / 30.0).sqrt();
+        assert_eq!(w.len(), 200);
+        assert!(w.iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(xavier_uniform(4, 4, 1), xavier_uniform(4, 4, 1));
+        assert_ne!(xavier_uniform(4, 4, 1), xavier_uniform(4, 4, 2));
+    }
+
+    #[test]
+    fn weights_not_all_identical() {
+        let w = xavier_uniform(8, 8, 5);
+        let first = w[0];
+        assert!(w.iter().any(|&x| (x - first).abs() > 1e-12));
+    }
+}

@@ -1,0 +1,194 @@
+//! Fully-connected (dense) layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::init::xavier_uniform;
+
+/// A dense layer computing `y = W x + b` with `W` of shape `(out, in)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major weights: `weights[o * in_dim + i]`.
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    /// Gradients accumulated by the last backward pass.
+    grad_weights: Vec<f64>,
+    grad_biases: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialised weights and zero biases.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            in_dim,
+            out_dim,
+            weights: xavier_uniform(in_dim, out_dim, seed),
+            biases: vec![0.0; out_dim],
+            grad_weights: vec![0.0; in_dim * out_dim],
+            grad_biases: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass for a single sample.
+    ///
+    /// # Panics
+    /// Panics when `input.len() != in_dim`.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.in_dim, "dense layer input size mismatch");
+        let mut out = self.biases.clone();
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0;
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            *out_v += acc;
+        }
+        out
+    }
+
+    /// Backward pass for a single sample: accumulates weight/bias gradients and returns
+    /// the gradient with respect to the input.
+    pub fn backward(&mut self, input: &[f64], grad_output: &[f64]) -> Vec<f64> {
+        assert_eq!(grad_output.len(), self.out_dim, "grad_output size mismatch");
+        assert_eq!(input.len(), self.in_dim, "input size mismatch");
+        let mut grad_input = vec![0.0; self.in_dim];
+        for (o, &go) in grad_output.iter().enumerate() {
+            self.grad_biases[o] += go;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.grad_weights[row_start + i] += go * input[i];
+                grad_input[i] += go * self.weights[row_start + i];
+            }
+        }
+        grad_input
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_biases.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Mutable access to `(parameters, gradients)` flattened as (weights ++ biases),
+    /// used by optimizers.
+    pub fn params_and_grads(&mut self) -> (Vec<&mut f64>, Vec<f64>) {
+        let grads: Vec<f64> = self
+            .grad_weights
+            .iter()
+            .chain(self.grad_biases.iter())
+            .copied()
+            .collect();
+        let params: Vec<&mut f64> = self
+            .weights
+            .iter_mut()
+            .chain(self.biases.iter_mut())
+            .collect();
+        (params, grads)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let mut layer = Dense::new(2, 1, 0);
+        // Overwrite weights for a deterministic check: y = 3*x0 - x1 + 0.5
+        let (params, _) = layer.params_and_grads();
+        let values = [3.0, -1.0, 0.5];
+        for (p, v) in params.into_iter().zip(values) {
+            *p = v;
+        }
+        let y = layer.forward(&[2.0, 4.0]);
+        assert_eq!(y, vec![2.5]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut layer = Dense::new(3, 2, 9);
+        let input = [0.5, -1.0, 2.0];
+        let grad_out = [1.0, -0.5];
+
+        layer.zero_grad();
+        let out_base = layer.forward(&input);
+        let _ = layer.backward(&input, &grad_out);
+        let (_, grads) = layer.params_and_grads();
+
+        // Finite differences over a few parameters.
+        let eps = 1e-6;
+        let scalar = |out: &[f64]| out[0] * grad_out[0] + out[1] * grad_out[1];
+        for check_idx in [0usize, 3, 5, 6, 7] {
+            let mut perturbed = layer.clone();
+            {
+                let (params, _) = perturbed.params_and_grads();
+                let mut params = params;
+                *params[check_idx] += eps;
+            }
+            let out_p = perturbed.forward(&input);
+            let numeric = (scalar(&out_p) - scalar(&out_base)) / eps;
+            assert!(
+                (numeric - grads[check_idx]).abs() < 1e-4,
+                "param {check_idx}: numeric {numeric} vs analytic {}",
+                grads[check_idx]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_input_gradient_matches_finite_differences() {
+        let mut layer = Dense::new(3, 2, 4);
+        let input = [0.3, 0.7, -0.2];
+        let grad_out = [0.8, 1.2];
+        let base = layer.forward(&input);
+        let scalar = |out: &[f64]| out[0] * grad_out[0] + out[1] * grad_out[1];
+        layer.zero_grad();
+        let grad_in = layer.backward(&input, &grad_out);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut x = input;
+            x[i] += eps;
+            let numeric = (scalar(&layer.forward(&x)) - scalar(&base)) / eps;
+            assert!((numeric - grad_in[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_grad_resets_accumulation() {
+        let mut layer = Dense::new(2, 2, 1);
+        let _ = layer.backward(&[1.0, 1.0], &[1.0, 1.0]);
+        layer.zero_grad();
+        let (_, grads) = layer.params_and_grads();
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn param_count_matches_dims() {
+        let layer = Dense::new(5, 3, 0);
+        assert_eq!(layer.param_count(), 5 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "input size mismatch")]
+    fn wrong_input_size_panics() {
+        let layer = Dense::new(3, 1, 0);
+        let _ = layer.forward(&[1.0]);
+    }
+}

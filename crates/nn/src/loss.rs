@@ -1,0 +1,64 @@
+//! Loss functions.
+
+/// Mean squared error between `prediction` and `target`.
+///
+/// # Panics
+/// Panics when the two slices have different lengths.
+pub fn mse(prediction: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(prediction.len(), target.len(), "length mismatch in mse");
+    if prediction.is_empty() {
+        return 0.0;
+    }
+    prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / prediction.len() as f64
+}
+
+/// Gradient of the MSE loss with respect to the prediction vector.
+pub fn mse_gradient(prediction: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(prediction.len(), target.len(), "length mismatch in mse_gradient");
+    let n = prediction.len().max(1) as f64;
+    prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| 2.0 * (p - t) / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_when_equal() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        // Errors: 1 and 3 -> (1 + 9)/2 = 5.
+        assert_eq!(mse(&[1.0, 0.0], &[0.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn gradient_points_towards_target() {
+        let g = mse_gradient(&[2.0], &[0.0]);
+        assert!(g[0] > 0.0);
+        let g2 = mse_gradient(&[-1.0], &[0.0]);
+        assert!(g2[0] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_mse_is_zero() {
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+}

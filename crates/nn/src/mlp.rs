@@ -1,0 +1,283 @@
+//! Multi-layer perceptron with ReLU hidden layers and a linear output layer.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::{relu_derivative, relu_inplace};
+use crate::linear::Dense;
+use crate::loss::{mse, mse_gradient};
+use crate::optim::Optimizer;
+
+/// A feed-forward network: `Dense -> ReLU -> ... -> Dense` (no activation on the output
+/// layer), exactly the shape of Maliva's Q-network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes, e.g. `&[7, 8, 8, 4]` for a
+    /// 7-input, 4-output network with two hidden layers of 8 units.
+    ///
+    /// # Panics
+    /// Panics when fewer than two sizes are given.
+    pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
+        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
+        let layers = layer_sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(Dense::in_dim).unwrap_or(0)
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(Dense::out_dim).unwrap_or(0)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Forward pass returning the output vector.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut current = input.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            current = layer.forward(&current);
+            if i < last {
+                relu_inplace(&mut current);
+            }
+        }
+        current
+    }
+
+    /// Forward pass that also records every layer's input and pre-activation output,
+    /// needed for backpropagation.
+    fn forward_trace(&self, input: &[f64]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        let mut current = input.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(current.clone());
+            let pre = layer.forward(&current);
+            pre_activations.push(pre.clone());
+            current = pre;
+            if i < last {
+                relu_inplace(&mut current);
+            }
+        }
+        (inputs, pre_activations)
+    }
+
+    /// One gradient step on a single `(input, target)` pair; returns the MSE loss
+    /// before the update.
+    pub fn train_step<O: Optimizer>(&mut self, input: &[f64], target: &[f64], opt: &mut O) -> f64 {
+        let (inputs, pres) = self.forward_trace(input);
+        let last = self.layers.len() - 1;
+        let output = pres[last].clone();
+        let loss = mse(&output, target);
+        let mut grad = mse_gradient(&output, target);
+
+        for layer in self.layers.iter_mut() {
+            layer.zero_grad();
+        }
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                // Propagated gradient passes through the ReLU of this layer's output.
+                for (g, &pre) in grad.iter_mut().zip(&pres[i]) {
+                    *g *= relu_derivative(pre);
+                }
+            }
+            grad = self.layers[i].backward(&inputs[i], &grad);
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (params, grads) = layer.params_and_grads();
+            opt.step(i, params, &grads);
+        }
+        loss
+    }
+
+    /// One gradient step where only a single output unit (`action`) has a target — the
+    /// standard deep-Q-learning update. Other outputs receive zero gradient. Returns
+    /// the squared error of the trained output before the update.
+    pub fn train_step_masked<O: Optimizer>(
+        &mut self,
+        input: &[f64],
+        action: usize,
+        target: f64,
+        opt: &mut O,
+    ) -> f64 {
+        let (inputs, pres) = self.forward_trace(input);
+        let last = self.layers.len() - 1;
+        let output = pres[last].clone();
+        assert!(action < output.len(), "action index out of range");
+        let error = output[action] - target;
+        let mut grad = vec![0.0; output.len()];
+        grad[action] = 2.0 * error;
+
+        for layer in self.layers.iter_mut() {
+            layer.zero_grad();
+        }
+        for i in (0..self.layers.len()).rev() {
+            if i < last {
+                for (g, &pre) in grad.iter_mut().zip(&pres[i]) {
+                    *g *= relu_derivative(pre);
+                }
+            }
+            grad = self.layers[i].backward(&inputs[i], &grad);
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (params, grads) = layer.params_and_grads();
+            opt.step(i, params, &grads);
+        }
+        error * error
+    }
+
+    /// Serialises the network weights to a JSON-compatible value via `serde`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // A compact, dependency-free encoding: layer sizes then raw f64 parameters.
+        // serde derives also allow serde_json in downstream crates; this binary form is
+        // used for quick in-process snapshotting (e.g. target networks).
+        let mut clone = self.clone();
+        let mut bytes = Vec::new();
+        bytes.extend((self.layers.len() as u32).to_le_bytes());
+        for layer in &mut clone.layers {
+            bytes.extend((layer.in_dim() as u32).to_le_bytes());
+            bytes.extend((layer.out_dim() as u32).to_le_bytes());
+            let (params, _) = layer.params_and_grads();
+            bytes.extend((params.len() as u32).to_le_bytes());
+            for p in params {
+                bytes.extend(p.to_le_bytes());
+            }
+        }
+        bytes
+    }
+
+    /// Copies all weights from `other` (used for Q-learning target networks).
+    ///
+    /// # Panics
+    /// Panics when the architectures differ.
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        let mut other = other.clone();
+        for (dst, src) in self.layers.iter_mut().zip(other.layers.iter_mut()) {
+            let (src_params, _) = src.params_and_grads();
+            let src_values: Vec<f64> = src_params.into_iter().map(|p| *p).collect();
+            let (dst_params, _) = dst.params_and_grads();
+            assert_eq!(dst_params.len(), src_values.len(), "architecture mismatch");
+            for (d, v) in dst_params.into_iter().zip(src_values) {
+                *d = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    #[test]
+    fn architecture_dimensions() {
+        let net = Mlp::new(&[7, 8, 8, 4], 0);
+        assert_eq!(net.input_dim(), 7);
+        assert_eq!(net.output_dim(), 4);
+        assert_eq!(net.param_count(), 7 * 8 + 8 + 8 * 8 + 8 + 8 * 4 + 4);
+    }
+
+    #[test]
+    fn forward_output_has_right_size() {
+        let net = Mlp::new(&[3, 5, 2], 1);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_regression_task() {
+        let mut net = Mlp::new(&[2, 16, 1], 3);
+        let mut opt = Adam::new(0.01);
+        let data: Vec<([f64; 2], f64)> = (0..50)
+            .map(|i| {
+                let x0 = (i % 10) as f64 / 10.0;
+                let x1 = (i / 10) as f64 / 5.0;
+                ([x0, x1], 0.5 * x0 - 0.3 * x1 + 0.1)
+            })
+            .collect();
+        let loss_of = |net: &Mlp| -> f64 {
+            data.iter()
+                .map(|(x, y)| {
+                    let p = net.forward(x)[0];
+                    (p - y) * (p - y)
+                })
+                .sum::<f64>()
+                / data.len() as f64
+        };
+        let before = loss_of(&net);
+        for _ in 0..200 {
+            for (x, y) in &data {
+                net.train_step(x, &[*y], &mut opt);
+            }
+        }
+        let after = loss_of(&net);
+        assert!(after < before / 10.0, "loss before {before}, after {after}");
+        assert!(after < 0.01, "final loss {after}");
+    }
+
+    #[test]
+    fn masked_training_only_moves_selected_output() {
+        let mut net = Mlp::new(&[2, 8, 3], 5);
+        let mut opt = Adam::new(0.02);
+        let input = [0.5, -0.2];
+        let before = net.forward(&input);
+        for _ in 0..300 {
+            net.train_step_masked(&input, 1, 2.0, &mut opt);
+        }
+        let after = net.forward(&input);
+        assert!((after[1] - 2.0).abs() < 0.1, "trained output {:.3}", after[1]);
+        // The untouched outputs may drift through shared hidden layers but should stay
+        // far from the trained target magnitude relative to their start.
+        assert!((after[1] - before[1]).abs() > 0.5);
+    }
+
+    #[test]
+    fn copy_weights_clones_behaviour() {
+        let mut a = Mlp::new(&[3, 6, 2], 1);
+        let b = Mlp::new(&[3, 6, 2], 99);
+        let x = [0.3, 0.1, -0.7];
+        assert_ne!(a.forward(&x), b.forward(&x));
+        a.copy_weights_from(&b);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn to_bytes_changes_after_training() {
+        let mut net = Mlp::new(&[2, 4, 1], 0);
+        let before = net.to_bytes();
+        let mut opt = Adam::new(0.05);
+        net.train_step(&[1.0, 1.0], &[5.0], &mut opt);
+        let after = net.to_bytes();
+        assert_ne!(before, after);
+        assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn copy_weights_rejects_mismatched_architectures() {
+        let mut a = Mlp::new(&[2, 4, 1], 0);
+        let b = Mlp::new(&[2, 5, 1], 0);
+        a.copy_weights_from(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn single_layer_size_panics() {
+        let _ = Mlp::new(&[3], 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Gradient-descent optimizers.
+
+use serde::{Deserialize, Serialize};
+
+/// Common interface of optimizers: apply one update given parameters and gradients.
+///
+/// `param_group` identifies the layer so that stateful optimizers (Adam) keep separate
+/// moment estimates per layer.
+pub trait Optimizer {
+    /// Updates `params` in place using `grads`.
+    fn step(&mut self, param_group: usize, params: Vec<&mut f64>, grads: &[f64]);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(learning_rate: f64) -> Self {
+        Self { learning_rate }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _param_group: usize, params: Vec<&mut f64>, grads: &[f64]) {
+        for (p, g) in params.into_iter().zip(grads) {
+            *p -= self.learning_rate * g;
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with per-layer first/second moment state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    state: Vec<AdamState>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard hyper-parameters.
+    pub fn new(learning_rate: f64) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            state: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, param_group: usize, params: Vec<&mut f64>, grads: &[f64]) {
+        while self.state.len() <= param_group {
+            self.state.push(AdamState::default());
+        }
+        let state = &mut self.state[param_group];
+        if state.m.len() != grads.len() {
+            state.m = vec![0.0; grads.len()];
+            state.v = vec![0.0; grads.len()];
+            state.t = 0;
+        }
+        state.t += 1;
+        let t = state.t as f64;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, (p, &g)) in params.into_iter().zip(grads).enumerate() {
+            state.m[i] = self.beta1 * state.m[i] + (1.0 - self.beta1) * g;
+            state.v[i] = self.beta2 * state.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = state.m[i] / bias1;
+            let v_hat = state.v[i] / bias2;
+            *p -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimize<O: Optimizer>(opt: &mut O, start: f64, steps: usize) -> f64 {
+        // Minimise f(x) = (x - 3)^2 with gradient 2(x - 3).
+        let mut x = start;
+        for _ in 0..steps {
+            let g = 2.0 * (x - 3.0);
+            opt.step(0, vec![&mut x], &[g]);
+        }
+        x
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimize(&mut opt, 10.0, 200);
+        assert!((x - 3.0).abs() < 1e-6, "got {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let x = minimize(&mut opt, 10.0, 2000);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn adam_keeps_separate_state_per_group() {
+        let mut opt = Adam::new(0.1);
+        let mut a = 0.0;
+        let mut b = 0.0;
+        opt.step(0, vec![&mut a], &[1.0]);
+        opt.step(1, vec![&mut b], &[1.0]);
+        // Both groups are at t=1, so the (bias-corrected) updates are identical.
+        assert!((a - b).abs() < 1e-12);
+        assert_eq!(opt.state.len(), 2);
+    }
+
+    #[test]
+    fn sgd_step_direction_opposes_gradient() {
+        let mut opt = Sgd::new(0.5);
+        let mut x = 1.0;
+        opt.step(0, vec![&mut x], &[2.0]);
+        assert_eq!(x, 0.0);
+    }
+
+    #[test]
+    fn adam_resets_state_on_shape_change() {
+        let mut opt = Adam::new(0.1);
+        let mut a = 0.0;
+        opt.step(0, vec![&mut a], &[1.0]);
+        let mut xs = [0.0, 0.0];
+        let (x0, x1) = xs.split_at_mut(1);
+        opt.step(0, vec![&mut x0[0], &mut x1[0]], &[1.0, 1.0]);
+        assert_eq!(opt.state[0].m.len(), 2);
+    }
+}

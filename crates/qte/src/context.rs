@@ -1,0 +1,90 @@
+//! Per-query estimation context: which selectivities have already been collected.
+
+use std::collections::HashMap;
+
+/// Shared state across the QTE calls issued while planning one visualization query.
+///
+/// Slot `i` (for `i < n`, the number of fact-table predicates) holds the collected
+/// selectivity of predicate `i`; slot `n` holds the combined selectivity of the join's
+/// dimension-table predicates. Collecting a slot once makes later estimates that need
+/// it free, which is exactly how the estimation costs of unexplored rewritten queries
+/// shrink in the paper's running example (Fig. 7).
+#[derive(Debug, Clone, Default)]
+pub struct EstimationContext {
+    collected: HashMap<usize, f64>,
+}
+
+impl EstimationContext {
+    /// Creates an empty context (no selectivity collected yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` when slot `slot` has been collected.
+    pub fn is_collected(&self, slot: usize) -> bool {
+        self.collected.contains_key(&slot)
+    }
+
+    /// The collected selectivity of `slot`, if any.
+    pub fn selectivity(&self, slot: usize) -> Option<f64> {
+        self.collected.get(&slot).copied()
+    }
+
+    /// Records a collected selectivity.
+    pub fn record(&mut self, slot: usize, selectivity: f64) {
+        self.collected.insert(slot, selectivity.clamp(0.0, 1.0));
+    }
+
+    /// Number of collected slots.
+    pub fn collected_count(&self) -> usize {
+        self.collected.len()
+    }
+
+    /// Clears the context (used when planning a new query).
+    pub fn reset(&mut self) {
+        self.collected.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut ctx = EstimationContext::new();
+        assert!(!ctx.is_collected(0));
+        ctx.record(0, 0.25);
+        assert!(ctx.is_collected(0));
+        assert_eq!(ctx.selectivity(0), Some(0.25));
+        assert_eq!(ctx.collected_count(), 1);
+    }
+
+    #[test]
+    fn record_clamps_to_unit_interval() {
+        let mut ctx = EstimationContext::new();
+        ctx.record(1, 3.0);
+        ctx.record(2, -0.5);
+        assert_eq!(ctx.selectivity(1), Some(1.0));
+        assert_eq!(ctx.selectivity(2), Some(0.0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut ctx = EstimationContext::new();
+        ctx.record(0, 0.1);
+        ctx.record(5, 0.2);
+        ctx.reset();
+        assert_eq!(ctx.collected_count(), 0);
+        assert!(!ctx.is_collected(5));
+    }
+
+    #[test]
+    fn overwriting_a_slot_keeps_latest() {
+        let mut ctx = EstimationContext::new();
+        ctx.record(0, 0.1);
+        ctx.record(0, 0.4);
+        assert_eq!(ctx.selectivity(0), Some(0.4));
+        assert_eq!(ctx.collected_count(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Feature extraction for the Approximate-QTE's cost model.
+//!
+//! Given the (measured or estimated) selectivities of a query's predicates and a
+//! rewrite option, we predict the operation counts the corresponding plan would perform
+//! using the same analytical work model the optimizer uses, and expose those counts as
+//! regression features. A linear model over these features effectively re-learns the
+//! engine's millisecond cost constants from observed execution times.
+
+use vizdb::hints::RewriteOption;
+use vizdb::optimizer::{predict_work, PlanShape};
+use vizdb::query::Query;
+
+/// Number of features produced by [`plan_features`].
+pub const FEATURE_COUNT: usize = 13;
+
+/// Builds the feature vector for estimating `query` rewritten with `ro`.
+///
+/// `selectivities[i]` is the (sampled or estimated) selectivity of fact predicate `i`;
+/// `right_selectivity` the combined selectivity of dimension predicates;
+/// `row_count` / `right_row_count` the table sizes.
+pub fn plan_features(
+    query: &Query,
+    ro: &RewriteOption,
+    selectivities: &[f64],
+    right_selectivity: f64,
+    row_count: usize,
+    right_row_count: usize,
+) -> Vec<f64> {
+    let index_preds: Vec<usize> = (0..query.predicate_count())
+        .filter(|&i| ro.hints.uses_index(i))
+        .collect();
+    let filter_preds: Vec<usize> = (0..query.predicate_count())
+        .filter(|i| !index_preds.contains(i))
+        .collect();
+    let shape = PlanShape {
+        query,
+        index_preds: &index_preds,
+        filter_preds: &filter_preds,
+        join_method: ro.hints.join_method,
+        approx: ro.approx,
+        row_count,
+        right_row_count,
+        selectivities,
+        right_selectivity,
+    };
+    let work = predict_work(&shape);
+    // Scale row counts down so the regression operates on numbers of similar magnitude.
+    const K: f64 = 1.0e-3;
+    vec![
+        work.seq_rows as f64 * K,
+        work.filter_evals as f64 * K,
+        work.index_probes as f64,
+        work.index_entries as f64 * K,
+        work.intersect_entries as f64 * K,
+        work.heap_fetches as f64 * K,
+        work.output_rows as f64 * K,
+        work.grouped_rows as f64 * K,
+        work.hash_build_rows as f64 * K,
+        work.hash_probe_rows as f64 * K,
+        work.nl_probe_rows as f64 * K,
+        work.merge_weighted_rows as f64 * K,
+        index_preds.len() as f64,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizdb::hints::HintSet;
+    use vizdb::query::Predicate;
+
+    fn query() -> Query {
+        Query::select("t")
+            .filter(Predicate::numeric_range(0, 0.0, 1.0))
+            .filter(Predicate::numeric_range(1, 0.0, 1.0))
+            .filter(Predicate::numeric_range(2, 0.0, 1.0))
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_length() {
+        let q = query();
+        for mask in 0..8u32 {
+            let ro = RewriteOption::hinted(HintSet::with_mask(mask));
+            let f = plan_features(&q, &ro, &[0.1, 0.2, 0.3], 1.0, 100_000, 0);
+            assert_eq!(f.len(), FEATURE_COUNT);
+        }
+    }
+
+    #[test]
+    fn full_scan_features_dominated_by_seq_rows() {
+        let q = query();
+        let ro = RewriteOption::hinted(HintSet::with_mask(0));
+        let f = plan_features(&q, &ro, &[0.1, 0.2, 0.3], 1.0, 100_000, 0);
+        assert!(f[0] > 0.0, "seq rows feature should be positive");
+        assert_eq!(f[2], 0.0, "no index probes for a full scan");
+    }
+
+    #[test]
+    fn index_plan_features_reflect_selectivity() {
+        let q = query();
+        let ro = RewriteOption::hinted(HintSet::with_mask(0b001));
+        let selective = plan_features(&q, &ro, &[0.001, 0.5, 0.5], 1.0, 100_000, 0);
+        let unselective = plan_features(&q, &ro, &[0.5, 0.5, 0.5], 1.0, 100_000, 0);
+        assert!(unselective[5] > selective[5] * 10.0, "heap fetches should grow");
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let q = query();
+        let ro = RewriteOption::hinted(HintSet::with_mask(0b111));
+        let f = plan_features(&q, &ro, &[0.0, 1.0, 0.5], 1.0, 1_000_000, 0);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

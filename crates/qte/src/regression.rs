@@ -1,0 +1,182 @@
+//! Ridge linear regression solved with normal equations, used as the analytical cost
+//! model of the sampling-based Approximate-QTE (paper §4.2 cites a linear regression
+//! model over collected statistics).
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = w · [1, x...]` (the intercept is learned as weight 0).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fits a ridge-regularised least-squares model.
+    ///
+    /// `lambda` is the ridge penalty (0 for ordinary least squares). Returns a model
+    /// predicting 0 for every input when no training samples are given.
+    ///
+    /// # Panics
+    /// Panics when feature vectors have inconsistent lengths.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Self {
+        assert_eq!(xs.len(), ys.len(), "feature/target count mismatch");
+        if xs.is_empty() {
+            return Self::default();
+        }
+        let dim = xs[0].len() + 1; // +1 for the intercept
+        for x in xs {
+            assert_eq!(x.len() + 1, dim, "inconsistent feature dimensionality");
+        }
+
+        // Normal equations: (X^T X + λI) w = X^T y.
+        let mut xtx = vec![vec![0.0f64; dim]; dim];
+        let mut xty = vec![0.0f64; dim];
+        for (x, &y) in xs.iter().zip(ys) {
+            let row = augmented(x);
+            for i in 0..dim {
+                xty[i] += row[i] * y;
+                for j in 0..dim {
+                    xtx[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += lambda.max(0.0);
+        }
+
+        let weights = solve(xtx, xty).unwrap_or_else(|| vec![0.0; dim]);
+        Self { weights }
+    }
+
+    /// Predicts the target for a feature vector (without the intercept column).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.weights.is_empty() {
+            return 0.0;
+        }
+        let row = augmented(x);
+        row.iter()
+            .zip(&self.weights)
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+    }
+
+    /// The learned weights (intercept first); empty before fitting.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Mean absolute error of the model over a labelled set.
+    pub fn mean_absolute_error(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter()
+            .zip(ys)
+            .map(|(x, &y)| (self.predict(x) - y).abs())
+            .sum::<f64>()
+            / xs.len() as f64
+    }
+}
+
+fn augmented(x: &[f64]) -> Vec<f64> {
+    let mut row = Vec::with_capacity(x.len() + 1);
+    row.push(1.0);
+    row.extend_from_slice(x);
+    row
+}
+
+/// Solves `A w = b` by Gaussian elimination with partial pivoting. Returns `None` when
+/// the system is singular.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for col in (row + 1)..n {
+            acc -= a[row][col] * w[col];
+        }
+        w[row] = acc / a[row][row];
+    }
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_linear_relationship() {
+        // y = 2 + 3*x0 - x1
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0] - x[1]).collect();
+        let model = LinearModel::fit(&xs, &ys, 0.0);
+        assert!((model.predict(&[10.0, 2.0]) - 30.0).abs() < 1e-6);
+        assert!(model.mean_absolute_error(&xs, &ys) < 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x[0]).collect();
+        let ols = LinearModel::fit(&xs, &ys, 0.0);
+        let ridge = LinearModel::fit(&xs, &ys, 100.0);
+        assert!(ridge.weights()[1].abs() < ols.weights()[1].abs());
+    }
+
+    #[test]
+    fn empty_training_set_predicts_zero() {
+        let model = LinearModel::fit(&[], &[], 1.0);
+        assert_eq!(model.predict(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn singular_system_falls_back_to_zero_weights() {
+        // Two identical feature columns with no regularisation make X^T X singular;
+        // the solver should not panic.
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let model = LinearModel::fit(&xs, &ys, 0.0);
+        let _ = model.predict(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mae_reflects_residuals() {
+        let xs: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 1.0];
+        let model = LinearModel::fit(&xs, &ys, 0.0);
+        assert!(model.mean_absolute_error(&xs, &ys) < 1e-9);
+        let bad_ys = vec![10.0, 20.0];
+        assert!(model.mean_absolute_error(&xs, &bad_ys) > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/target count mismatch")]
+    fn mismatched_inputs_panic() {
+        LinearModel::fit(&[vec![1.0]], &[], 0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! # maliva-quality — visualization quality functions
+//!
+//! When Maliva rewrites a query with an approximation rule, the rewritten query's
+//! result differs from the original query's result. The paper assumes a given quality
+//! function `F(r(Q), r(RQ))` in `[0, 1]` (§2, §6) and notes that Maliva places no
+//! restriction on which function is used — Jaccard similarity for scatterplots,
+//! distribution precision for pie charts, or perceptual functions such as VAS.
+//!
+//! This crate provides those quality functions over [`vizdb::exec::QueryResult`]s.
+
+use std::collections::BTreeSet;
+
+use vizdb::exec::QueryResult;
+use vizdb::query::BinGrid;
+
+/// Which quality function to apply, mirroring the paper's examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QualityFunction {
+    /// Jaccard similarity of the visualized elements (paper Fig. 9).
+    Jaccard,
+    /// Distribution precision (Sample+Seek-style), suited to binned results.
+    DistributionPrecision,
+    /// A VAS-style perceptual proxy for scatterplots: coverage of the exact result's
+    /// occupied screen cells by the approximate result.
+    VasCoverage,
+}
+
+impl QualityFunction {
+    /// Evaluates the quality of `approx` against the ground-truth `exact` result.
+    pub fn evaluate(&self, exact: &QueryResult, approx: &QueryResult) -> f64 {
+        match self {
+            QualityFunction::Jaccard => jaccard_quality(exact, approx),
+            QualityFunction::DistributionPrecision => distribution_precision(exact, approx),
+            QualityFunction::VasCoverage => vas_coverage(exact, approx, 64, 32),
+        }
+    }
+}
+
+/// Jaccard similarity between the two results.
+///
+/// * Point results: Jaccard over the sets of returned record ids.
+/// * Binned results: weighted Jaccard over the bin-count vectors
+///   (`Σ min(a, b) / Σ max(a, b)`), which reduces to set Jaccard for 0/1 counts.
+/// * Counts: ratio of the smaller to the larger count.
+/// * Mixed kinds: 0.0 (the visualizations are not comparable).
+pub fn jaccard_quality(exact: &QueryResult, approx: &QueryResult) -> f64 {
+    match (exact, approx) {
+        (QueryResult::Points(_), QueryResult::Points(_)) => {
+            let a: BTreeSet<i64> = exact.point_ids().unwrap_or_default().into_iter().collect();
+            let b: BTreeSet<i64> = approx.point_ids().unwrap_or_default().into_iter().collect();
+            if a.is_empty() && b.is_empty() {
+                return 1.0;
+            }
+            let inter = a.intersection(&b).count() as f64;
+            let union = a.union(&b).count() as f64;
+            if union == 0.0 {
+                1.0
+            } else {
+                inter / union
+            }
+        }
+        (QueryResult::Bins(_), QueryResult::Bins(_)) => {
+            let a = exact.bin_map().unwrap_or_default();
+            let b = approx.bin_map().unwrap_or_default();
+            if a.is_empty() && b.is_empty() {
+                return 1.0;
+            }
+            let keys: BTreeSet<u32> = a.keys().chain(b.keys()).copied().collect();
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for k in keys {
+                let x = *a.get(&k).unwrap_or(&0) as f64;
+                let y = *b.get(&k).unwrap_or(&0) as f64;
+                num += x.min(y);
+                den += x.max(y);
+            }
+            if den == 0.0 {
+                1.0
+            } else {
+                num / den
+            }
+        }
+        (QueryResult::Count(a), QueryResult::Count(b)) => {
+            let (a, b) = (*a as f64, *b as f64);
+            if a == 0.0 && b == 0.0 {
+                1.0
+            } else {
+                a.min(b) / a.max(b)
+            }
+        }
+        _ => 0.0,
+    }
+}
+
+/// Distribution precision for binned results: `1 − ½ Σ |p_i − q_i|` where `p` and `q`
+/// are the normalised bin distributions (total-variation-based precision, following the
+/// Sample+Seek notion of distribution accuracy). Non-binned results fall back to
+/// [`jaccard_quality`].
+pub fn distribution_precision(exact: &QueryResult, approx: &QueryResult) -> f64 {
+    match (exact.bin_map(), approx.bin_map()) {
+        (Some(a), Some(b)) => {
+            let total_a: f64 = a.values().map(|&c| c as f64).sum();
+            let total_b: f64 = b.values().map(|&c| c as f64).sum();
+            if total_a == 0.0 && total_b == 0.0 {
+                return 1.0;
+            }
+            if total_a == 0.0 || total_b == 0.0 {
+                return 0.0;
+            }
+            let keys: BTreeSet<u32> = a.keys().chain(b.keys()).copied().collect();
+            let mut tv = 0.0;
+            for k in keys {
+                let p = *a.get(&k).unwrap_or(&0) as f64 / total_a;
+                let q = *b.get(&k).unwrap_or(&0) as f64 / total_b;
+                tv += (p - q).abs();
+            }
+            (1.0 - 0.5 * tv).clamp(0.0, 1.0)
+        }
+        _ => jaccard_quality(exact, approx),
+    }
+}
+
+/// VAS-style coverage quality for scatterplots: the fraction of screen-space cells
+/// occupied by the exact result that are also occupied by the approximate result.
+/// A sampled scatterplot that still covers every visible region scores close to 1 even
+/// though it returns far fewer points, which matches how viewers perceive scatterplots.
+pub fn vas_coverage(exact: &QueryResult, approx: &QueryResult, cols: u32, rows: u32) -> f64 {
+    match (exact, approx) {
+        (QueryResult::Points(a), QueryResult::Points(b)) => {
+            if a.is_empty() {
+                return 1.0;
+            }
+            // Derive the screen extent from the exact result.
+            let mut min_lon = f64::INFINITY;
+            let mut min_lat = f64::INFINITY;
+            let mut max_lon = f64::NEG_INFINITY;
+            let mut max_lat = f64::NEG_INFINITY;
+            for (_, p) in a {
+                min_lon = min_lon.min(p.lon);
+                min_lat = min_lat.min(p.lat);
+                max_lon = max_lon.max(p.lon);
+                max_lat = max_lat.max(p.lat);
+            }
+            let extent = vizdb::types::GeoRect::new(min_lon, min_lat, max_lon, max_lat);
+            let grid = BinGrid::new(extent, cols.max(1), rows.max(1));
+            let cells_exact: BTreeSet<u32> =
+                a.iter().filter_map(|(_, p)| grid.bin_of(p.lon, p.lat)).collect();
+            if cells_exact.is_empty() {
+                return 1.0;
+            }
+            let cells_approx: BTreeSet<u32> =
+                b.iter().filter_map(|(_, p)| grid.bin_of(p.lon, p.lat)).collect();
+            cells_exact.intersection(&cells_approx).count() as f64 / cells_exact.len() as f64
+        }
+        _ => jaccard_quality(exact, approx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizdb::types::GeoPoint;
+
+    fn points(ids: &[i64]) -> QueryResult {
+        QueryResult::Points(
+            ids.iter()
+                .map(|&id| (id, GeoPoint::new(id as f64, id as f64)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn jaccard_identical_points_is_one() {
+        let a = points(&[1, 2, 3]);
+        assert_eq!(jaccard_quality(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn jaccard_disjoint_points_is_zero() {
+        assert_eq!(jaccard_quality(&points(&[1, 2]), &points(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        // |{1,2,3} ∩ {2,3,4}| = 2, union = 4 -> 0.5
+        let q = jaccard_quality(&points(&[1, 2, 3]), &points(&[2, 3, 4]));
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_subset_matches_fraction() {
+        // A 60% sample of the exact result: 3 of 5 ids.
+        let q = jaccard_quality(&points(&[1, 2, 3, 4, 5]), &points(&[1, 3, 5]));
+        assert!((q - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_bins_weighted() {
+        let exact = QueryResult::Bins(vec![(0, 10), (1, 10)]);
+        let approx = QueryResult::Bins(vec![(0, 5), (1, 10)]);
+        // min-sum 15 / max-sum 20.
+        assert!((jaccard_quality(&exact, &approx) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_counts_and_empty_results() {
+        assert_eq!(
+            jaccard_quality(&QueryResult::Count(50), &QueryResult::Count(100)),
+            0.5
+        );
+        assert_eq!(
+            jaccard_quality(&QueryResult::Count(0), &QueryResult::Count(0)),
+            1.0
+        );
+        assert_eq!(jaccard_quality(&points(&[]), &points(&[])), 1.0);
+    }
+
+    #[test]
+    fn jaccard_mixed_kinds_is_zero() {
+        assert_eq!(jaccard_quality(&points(&[1]), &QueryResult::Count(1)), 0.0);
+    }
+
+    #[test]
+    fn distribution_precision_identical_distributions() {
+        let exact = QueryResult::Bins(vec![(0, 100), (1, 300)]);
+        let approx = QueryResult::Bins(vec![(0, 10), (1, 30)]);
+        // Same shape at a quarter of the volume: distribution is identical.
+        assert!((distribution_precision(&exact, &approx) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_precision_detects_skew() {
+        let exact = QueryResult::Bins(vec![(0, 50), (1, 50)]);
+        let approx = QueryResult::Bins(vec![(0, 100)]);
+        // TV distance = |0.5-1.0| + |0.5-0| = 1.0 -> precision 0.5
+        assert!((distribution_precision(&exact, &approx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_precision_empty_cases() {
+        let empty = QueryResult::Bins(vec![]);
+        let full = QueryResult::Bins(vec![(0, 10)]);
+        assert_eq!(distribution_precision(&empty, &empty), 1.0);
+        assert_eq!(distribution_precision(&empty, &full), 0.0);
+    }
+
+    #[test]
+    fn vas_coverage_high_when_sample_covers_cells() {
+        // Points on a 10x10 grid; the sample keeps every other point, so most cells
+        // stay covered.
+        let exact: Vec<(i64, GeoPoint)> = (0..100)
+            .map(|i| (i, GeoPoint::new((i % 10) as f64, (i / 10) as f64)))
+            .collect();
+        let approx: Vec<(i64, GeoPoint)> = exact.iter().step_by(2).cloned().collect();
+        let q = vas_coverage(
+            &QueryResult::Points(exact),
+            &QueryResult::Points(approx),
+            10,
+            10,
+        );
+        assert!(q > 0.45, "coverage {q}");
+    }
+
+    #[test]
+    fn vas_coverage_zero_for_empty_approximation() {
+        let exact: Vec<(i64, GeoPoint)> =
+            (0..10).map(|i| (i, GeoPoint::new(i as f64, 0.0))).collect();
+        let approx: Vec<(i64, GeoPoint)> = vec![];
+        let q = vas_coverage(
+            &QueryResult::Points(exact),
+            &QueryResult::Points(approx),
+            10,
+            10,
+        );
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn quality_function_enum_dispatches() {
+        let exact = points(&[1, 2, 3, 4]);
+        let approx = points(&[1, 2]);
+        assert!((QualityFunction::Jaccard.evaluate(&exact, &approx) - 0.5).abs() < 1e-12);
+        assert!(QualityFunction::VasCoverage.evaluate(&exact, &approx) > 0.0);
+        let bins_a = QueryResult::Bins(vec![(0, 4), (1, 4)]);
+        let bins_b = QueryResult::Bins(vec![(0, 2), (1, 2)]);
+        assert!(
+            (QualityFunction::DistributionPrecision.evaluate(&bins_a, &bins_b) - 1.0).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn qualities_are_bounded() {
+        let cases = [
+            (points(&[1, 2, 3]), points(&[4, 5])),
+            (QueryResult::Bins(vec![(0, 7)]), QueryResult::Bins(vec![(3, 2)])),
+            (QueryResult::Count(10), QueryResult::Count(3)),
+        ];
+        for (a, b) in &cases {
+            for f in [
+                QualityFunction::Jaccard,
+                QualityFunction::DistributionPrecision,
+                QualityFunction::VasCoverage,
+            ] {
+                let q = f.evaluate(a, b);
+                assert!((0.0..=1.0).contains(&q), "{f:?} out of bounds: {q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,800 @@
+//! The physical-plan executor.
+//!
+//! The executor performs *real* work against the in-memory tables and indexes
+//! (index scans, record-id intersections, residual filtering, joins, binning) and
+//! reports exact operation counts in a [`WorkProfile`]. The simulated execution time is
+//! derived from those counts by [`crate::timing::execution_time_ms`]; the materialised
+//! [`QueryResult`] is what the visualization quality functions consume.
+
+use std::collections::HashMap;
+
+use crate::approx::ApproxRule;
+use crate::error::{Error, Result};
+use crate::exec::result::QueryResult;
+use crate::hints::JoinMethod;
+use crate::index::{intersect_sorted, BPlusTree, InvertedIndex, RTree};
+use crate::plan::PhysicalPlan;
+use crate::query::{OutputKind, Predicate, Query};
+use crate::storage::{SampleTable, Table};
+use crate::timing::{hash_unit, WorkProfile};
+use crate::types::RecordId;
+
+/// Borrowed view over everything the executor needs for one table.
+#[derive(Clone, Copy)]
+pub struct ExecTable<'a> {
+    /// The table data.
+    pub table: &'a Table,
+    /// B+-tree indexes keyed by column index (timestamps and numeric columns).
+    pub btree: &'a HashMap<usize, BPlusTree>,
+    /// R-tree indexes keyed by column index (geo columns).
+    pub rtree: &'a HashMap<usize, RTree>,
+    /// Inverted indexes keyed by column index (text columns).
+    pub inverted: &'a HashMap<usize, InvertedIndex>,
+    /// Pre-built sample tables keyed by sampling percentage.
+    pub samples: &'a HashMap<u32, SampleTable>,
+}
+
+/// The outcome of executing a plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Materialised result (a bare count when `materialize` was false).
+    pub result: QueryResult,
+    /// Exact operation counts performed.
+    pub work: WorkProfile,
+    /// Number of qualifying fact rows (before binning, after joins and limits).
+    pub result_rows: usize,
+}
+
+/// Executes `plan` for `query` over `fact` (and `dim` for join queries).
+///
+/// `limit_rows` caps the number of qualifying rows processed (used by the LIMIT
+/// approximation rule); `materialize` controls whether points/bins are collected or
+/// only counted.
+pub fn execute(
+    query: &Query,
+    plan: &PhysicalPlan,
+    fact: &ExecTable<'_>,
+    dim: Option<&ExecTable<'_>>,
+    limit_rows: Option<usize>,
+    materialize: bool,
+) -> Result<ExecOutcome> {
+    let mut work = WorkProfile::default();
+
+    // Resolve the row restriction induced by sampling approximation rules.
+    let restriction = SampleRestriction::resolve(plan, fact)?;
+
+    // Phase 1: candidate record ids on the fact table.
+    let candidates = if plan.index_preds.is_empty() {
+        None // sequential scan handled in phase 2
+    } else {
+        Some(index_candidates(query, plan, fact, &restriction, &mut work)?)
+    };
+
+    // Phase 2: qualify rows (residual predicates), honouring the LIMIT cap.
+    let cap = limit_rows.unwrap_or(usize::MAX).max(1);
+    let mut qualifying: Vec<RecordId> = Vec::new();
+    match candidates {
+        Some(cands) => {
+            for rid in cands {
+                work.heap_fetches += 1;
+                if eval_preds(query, &plan.filter_preds, fact.table, rid, &mut work)? {
+                    qualifying.push(rid);
+                    if qualifying.len() >= cap {
+                        break;
+                    }
+                }
+            }
+        }
+        None => {
+            // Sequential scan over the (possibly sampled) table.
+            let iter: Box<dyn Iterator<Item = RecordId>> = match &restriction {
+                SampleRestriction::All => Box::new(0..fact.table.row_count() as RecordId),
+                SampleRestriction::SampleRows(rows) => Box::new(rows.iter().copied()),
+                SampleRestriction::HashFraction(frac) => {
+                    let frac = *frac;
+                    Box::new(
+                        (0..fact.table.row_count() as RecordId)
+                            .filter(move |&rid| hash_unit(rid as u64 ^ 0x5EED) < frac),
+                    )
+                }
+            };
+            let all_preds: Vec<usize> = (0..query.predicate_count()).collect();
+            for rid in iter {
+                work.seq_rows += 1;
+                if eval_preds(query, &all_preds, fact.table, rid, &mut work)? {
+                    qualifying.push(rid);
+                    if qualifying.len() >= cap {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 3: join with the dimension table.
+    if let Some(join_plan) = &plan.join {
+        let spec = query
+            .join
+            .as_ref()
+            .ok_or_else(|| Error::InvalidQuery("plan has a join but the query does not".into()))?;
+        let dim = dim.ok_or_else(|| Error::TableNotFound(join_plan.right_table.clone()))?;
+        qualifying = execute_join(
+            query,
+            join_plan.method,
+            spec,
+            &qualifying,
+            fact,
+            dim,
+            &mut work,
+        )?;
+    }
+
+    let result_rows = qualifying.len();
+
+    // Phase 4: shape the output.
+    let result = match &query.output {
+        OutputKind::Points {
+            id_attr,
+            point_attr,
+        } => {
+            work.output_rows += qualifying.len() as u64;
+            if materialize {
+                let mut points = Vec::with_capacity(qualifying.len());
+                for &rid in &qualifying {
+                    let id = fact.table.int(*id_attr, rid).unwrap_or(rid as i64);
+                    let p = fact.table.geo(*point_attr, rid)?;
+                    points.push((id, p));
+                }
+                QueryResult::Points(points)
+            } else {
+                QueryResult::Count(qualifying.len() as u64)
+            }
+        }
+        OutputKind::BinnedCounts { point_attr, grid } => {
+            work.grouped_rows += qualifying.len() as u64;
+            let mut bins: HashMap<u32, u64> = HashMap::new();
+            for &rid in &qualifying {
+                let p = fact.table.geo(*point_attr, rid)?;
+                if let Some(bin) = grid.bin_of(p.lon, p.lat) {
+                    *bins.entry(bin).or_insert(0) += 1;
+                }
+            }
+            work.output_rows += bins.len() as u64;
+            if materialize {
+                let mut pairs: Vec<(u32, u64)> = bins.into_iter().collect();
+                pairs.sort_unstable();
+                QueryResult::Bins(pairs)
+            } else {
+                QueryResult::Count(qualifying.len() as u64)
+            }
+        }
+        OutputKind::Count => {
+            work.output_rows += 1;
+            QueryResult::Count(qualifying.len() as u64)
+        }
+    };
+
+    Ok(ExecOutcome {
+        result,
+        work,
+        result_rows,
+    })
+}
+
+/// How sampling approximation rules restrict the scanned rows.
+enum SampleRestriction<'a> {
+    All,
+    SampleRows(&'a [RecordId]),
+    HashFraction(f64),
+}
+
+impl<'a> SampleRestriction<'a> {
+    fn resolve(plan: &PhysicalPlan, fact: &ExecTable<'a>) -> Result<Self> {
+        match plan.approx {
+            Some(ApproxRule::SampleTable { fraction_pct }) => {
+                let sample =
+                    fact.samples
+                        .get(&fraction_pct)
+                        .ok_or_else(|| Error::SampleMissing {
+                            table: plan.table.clone(),
+                            fraction_pct,
+                        })?;
+                Ok(SampleRestriction::SampleRows(sample.row_ids()))
+            }
+            Some(ApproxRule::TableSample { fraction_pct }) => {
+                Ok(SampleRestriction::HashFraction(fraction_pct as f64 / 100.0))
+            }
+            _ => Ok(SampleRestriction::All),
+        }
+    }
+
+    fn filter(&self, rids: Vec<RecordId>) -> Vec<RecordId> {
+        match self {
+            SampleRestriction::All => rids,
+            SampleRestriction::SampleRows(rows) => rids
+                .into_iter()
+                .filter(|rid| rows.binary_search(rid).is_ok())
+                .collect(),
+            SampleRestriction::HashFraction(frac) => rids
+                .into_iter()
+                .filter(|&rid| hash_unit(rid as u64 ^ 0x5EED) < *frac)
+                .collect(),
+        }
+    }
+}
+
+/// Runs the index scans of the plan, intersects the record-id lists and applies the
+/// sample restriction.
+fn index_candidates(
+    query: &Query,
+    plan: &PhysicalPlan,
+    fact: &ExecTable<'_>,
+    restriction: &SampleRestriction<'_>,
+    work: &mut WorkProfile,
+) -> Result<Vec<RecordId>> {
+    let mut lists: Vec<Vec<RecordId>> = Vec::with_capacity(plan.index_preds.len());
+    for &pred_idx in &plan.index_preds {
+        let pred = query
+            .predicates
+            .get(pred_idx)
+            .ok_or(Error::InvalidAttribute(pred_idx))?;
+        let rids = scan_index(pred, fact, work)?;
+        lists.push(rids);
+    }
+    if lists.len() > 1 {
+        work.intersect_entries += lists.iter().map(|l| l.len() as u64).sum::<u64>();
+    }
+    let candidates = intersect_sorted(&lists);
+    Ok(restriction.filter(candidates))
+}
+
+/// Scans the index matching `pred` and returns the matching record ids.
+fn scan_index(
+    pred: &Predicate,
+    fact: &ExecTable<'_>,
+    work: &mut WorkProfile,
+) -> Result<Vec<RecordId>> {
+    work.index_probes += 1;
+    let attr = pred.attr();
+    match pred {
+        Predicate::KeywordContains { keyword, .. } => {
+            let index = fact.inverted.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            match fact.table.dictionary().lookup(keyword) {
+                Some(token) => {
+                    let (rids, stats) = index.lookup(token);
+                    work.index_entries += stats.matches as u64;
+                    Ok(rids)
+                }
+                None => Ok(Vec::new()),
+            }
+        }
+        Predicate::TimeRange { range, .. } => {
+            let index = fact.btree.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            let (rids, stats) = index.range_scan(range.start, range.end);
+            work.index_entries += stats.matches as u64;
+            Ok(rids)
+        }
+        Predicate::NumericRange { range, .. } => {
+            let index = fact.btree.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            let (rids, stats) = index.range_scan(
+                BPlusTree::float_key(range.lo),
+                BPlusTree::float_key(range.hi),
+            );
+            work.index_entries += stats.matches as u64;
+            Ok(rids)
+        }
+        Predicate::SpatialRange { rect, .. } => {
+            let index = fact.rtree.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            let (rids, stats) = index.range_scan(rect);
+            work.index_entries += stats.matches as u64;
+            Ok(rids)
+        }
+    }
+}
+
+fn column_name(table: &Table, attr: usize) -> String {
+    table
+        .schema()
+        .column_name(attr)
+        .unwrap_or("<unknown>")
+        .to_string()
+}
+
+/// Evaluates the predicates at `pred_indices` against row `rid`, counting every
+/// evaluation performed (short-circuiting on the first failure).
+fn eval_preds(
+    query: &Query,
+    pred_indices: &[usize],
+    table: &Table,
+    rid: RecordId,
+    work: &mut WorkProfile,
+) -> Result<bool> {
+    for &i in pred_indices {
+        let pred = query.predicates.get(i).ok_or(Error::InvalidAttribute(i))?;
+        work.filter_evals += 1;
+        if !eval_predicate(pred, table, rid)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Evaluates one predicate against one row.
+pub(crate) fn eval_predicate(pred: &Predicate, table: &Table, rid: RecordId) -> Result<bool> {
+    match pred {
+        Predicate::KeywordContains { attr, keyword } => {
+            match table.dictionary().lookup(keyword) {
+                Some(token) => table.text_contains(*attr, rid, token),
+                None => Ok(false),
+            }
+        }
+        Predicate::TimeRange { attr, range } => Ok(range.contains(table.timestamp(*attr, rid)?)),
+        Predicate::NumericRange { attr, range } => Ok(range.contains(table.numeric(*attr, rid)?)),
+        Predicate::SpatialRange { attr, rect } => Ok(rect.contains(&table.geo(*attr, rid)?)),
+    }
+}
+
+/// Executes the join of qualifying fact rows with the dimension table and returns the
+/// fact rows whose dimension match passes the dimension predicates.
+fn execute_join(
+    _query: &Query,
+    method: JoinMethod,
+    spec: &crate::query::JoinSpec,
+    fact_rows: &[RecordId],
+    fact: &ExecTable<'_>,
+    dim: &ExecTable<'_>,
+    work: &mut WorkProfile,
+) -> Result<Vec<RecordId>> {
+    let dim_rows = dim.table.row_count();
+    match method {
+        JoinMethod::Hash => {
+            // Build: hash every dimension row that passes the dimension predicates.
+            work.hash_build_rows += dim_rows as u64;
+            let mut hash: HashMap<i64, RecordId> = HashMap::with_capacity(dim_rows);
+            for rid in 0..dim_rows as RecordId {
+                let mut pass = true;
+                for pred in &spec.right_predicates {
+                    work.filter_evals += 1;
+                    if !eval_predicate(pred, dim.table, rid)? {
+                        pass = false;
+                        break;
+                    }
+                }
+                if pass {
+                    hash.insert(dim.table.int(spec.right_attr, rid)?, rid);
+                }
+            }
+            // Probe.
+            let mut out = Vec::with_capacity(fact_rows.len());
+            for &rid in fact_rows {
+                work.hash_probe_rows += 1;
+                let key = fact.table.int(spec.left_attr, rid)?;
+                if hash.contains_key(&key) {
+                    out.push(rid);
+                }
+            }
+            Ok(out)
+        }
+        JoinMethod::NestLoop => {
+            // Index nested loop: probe the dimension key index per fact row; fall back
+            // to a lazily built lookup map when no index exists.
+            let key_index = dim.btree.get(&spec.right_attr);
+            let fallback: Option<HashMap<i64, RecordId>> = if key_index.is_none() {
+                let mut m = HashMap::with_capacity(dim_rows);
+                for rid in 0..dim_rows as RecordId {
+                    m.insert(dim.table.int(spec.right_attr, rid)?, rid);
+                }
+                Some(m)
+            } else {
+                None
+            };
+            let mut out = Vec::with_capacity(fact_rows.len());
+            for &rid in fact_rows {
+                work.nl_probe_rows += 1;
+                let key = fact.table.int(spec.left_attr, rid)?;
+                let dim_rid = match (key_index, &fallback) {
+                    (Some(index), _) => {
+                        let (rids, _) = index.range_scan(key, key);
+                        rids.first().copied()
+                    }
+                    (None, Some(map)) => map.get(&key).copied(),
+                    (None, None) => None,
+                };
+                if let Some(drid) = dim_rid {
+                    let mut pass = true;
+                    for pred in &spec.right_predicates {
+                        work.filter_evals += 1;
+                        if !eval_predicate(pred, dim.table, drid)? {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        out.push(rid);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        JoinMethod::Merge => {
+            // Sort both sides on the join key, then merge.
+            let left_n = fact_rows.len().max(2) as f64;
+            let right_n = dim_rows.max(2) as f64;
+            work.merge_weighted_rows +=
+                (fact_rows.len() as f64 * left_n.log2() + dim_rows as f64 * right_n.log2()) as u64;
+
+            let mut left: Vec<(i64, RecordId)> = fact_rows
+                .iter()
+                .map(|&rid| Ok((fact.table.int(spec.left_attr, rid)?, rid)))
+                .collect::<Result<_>>()?;
+            left.sort_unstable();
+            let mut right: Vec<(i64, RecordId)> = (0..dim_rows as RecordId)
+                .map(|rid| Ok((dim.table.int(spec.right_attr, rid)?, rid)))
+                .collect::<Result<_>>()?;
+            right.sort_unstable();
+
+            let mut out = Vec::with_capacity(fact_rows.len());
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < left.len() && j < right.len() {
+                match left[i].0.cmp(&right[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let drid = right[j].1;
+                        let mut pass = true;
+                        for pred in &spec.right_predicates {
+                            work.filter_evals += 1;
+                            if !eval_predicate(pred, dim.table, drid)? {
+                                pass = false;
+                                break;
+                            }
+                        }
+                        if pass {
+                            out.push(left[i].1);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            out.sort_unstable();
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::HintSet;
+    use crate::optimizer::{Planner, TableMeta};
+    use crate::query::BinGrid;
+    use crate::schema::{ColumnType, TableSchema};
+    use crate::stats::TableStats;
+    use crate::storage::TableBuilder;
+    use crate::timing::CostParams;
+    use crate::types::GeoRect;
+    use std::collections::HashSet;
+
+    struct Fixture {
+        table: Table,
+        btree: HashMap<usize, BPlusTree>,
+        rtree: HashMap<usize, RTree>,
+        inverted: HashMap<usize, InvertedIndex>,
+        samples: HashMap<u32, SampleTable>,
+    }
+
+    impl Fixture {
+        fn exec_table(&self) -> ExecTable<'_> {
+            ExecTable {
+                table: &self.table,
+                btree: &self.btree,
+                rtree: &self.rtree,
+                inverted: &self.inverted,
+                samples: &self.samples,
+            }
+        }
+    }
+
+    /// 1000 tweets: timestamps 0..1000, coordinates on a line, keyword "covid" on
+    /// multiples of 4, user_id = rid % 50.
+    fn tweets_fixture() -> Fixture {
+        let schema = TableSchema::new("tweets")
+            .with_column("id", ColumnType::Int)
+            .with_column("created_at", ColumnType::Timestamp)
+            .with_column("coordinates", ColumnType::Geo)
+            .with_column("text", ColumnType::Text)
+            .with_column("user_id", ColumnType::Int);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..1000i64 {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_timestamp("created_at", i);
+                row.set_geo("coordinates", -120.0 + (i as f64) * 0.01, 35.0);
+                row.set_text("text", if i % 4 == 0 { &["covid", "news"] } else { &["news"] });
+                row.set_int("user_id", i % 50);
+            });
+        }
+        let table = b.build();
+        let mut btree = HashMap::new();
+        btree.insert(
+            1,
+            BPlusTree::build(
+                (0..table.row_count() as RecordId)
+                    .map(|rid| (table.timestamp(1, rid).unwrap(), rid))
+                    .collect(),
+            ),
+        );
+        let mut rtree = HashMap::new();
+        rtree.insert(
+            2,
+            RTree::build(
+                (0..table.row_count() as RecordId)
+                    .map(|rid| (table.geo(2, rid).unwrap(), rid))
+                    .collect(),
+            ),
+        );
+        let mut inverted = HashMap::new();
+        inverted.insert(
+            3,
+            InvertedIndex::build(
+                &(0..table.row_count() as RecordId)
+                    .map(|rid| table.text(3, rid).unwrap().to_vec())
+                    .collect::<Vec<_>>(),
+            ),
+        );
+        let mut samples = HashMap::new();
+        samples.insert(20, SampleTable::build("tweets", table.row_count(), 20, 1));
+        Fixture {
+            table,
+            btree,
+            rtree,
+            inverted,
+            samples,
+        }
+    }
+
+    fn users_fixture() -> Fixture {
+        let schema = TableSchema::new("users")
+            .with_column("id", ColumnType::Int)
+            .with_column("tweet_count", ColumnType::Int);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..50i64 {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_int("tweet_count", i * 10);
+            });
+        }
+        let table = b.build();
+        let mut btree = HashMap::new();
+        btree.insert(
+            0,
+            BPlusTree::build(
+                (0..table.row_count() as RecordId)
+                    .map(|rid| (table.int(0, rid).unwrap(), rid))
+                    .collect(),
+            ),
+        );
+        Fixture {
+            table,
+            btree,
+            rtree: HashMap::new(),
+            inverted: HashMap::new(),
+            samples: HashMap::new(),
+        }
+    }
+
+    fn base_query() -> Query {
+        Query::select("tweets")
+            .filter(Predicate::keyword(3, "covid"))
+            .filter(Predicate::time_range(1, 100, 499))
+            .filter(Predicate::spatial_range(
+                2,
+                GeoRect::new(-121.0, 30.0, -100.0, 40.0),
+            ))
+            .output(OutputKind::Points {
+                id_attr: 0,
+                point_attr: 2,
+            })
+    }
+
+    fn plan_with(f: &Fixture, q: &Query, mask: u32) -> PhysicalPlan {
+        let stats = TableStats::analyze(&f.table).unwrap();
+        let indexed: HashSet<usize> = [1usize, 2, 3].into_iter().collect();
+        let meta = TableMeta {
+            stats: &stats,
+            dictionary: f.table.dictionary(),
+            indexed_columns: &indexed,
+            row_count: f.table.row_count(),
+        };
+        Planner::new(CostParams::default(), 1.0, 0).plan(
+            q,
+            &HintSet::with_mask(mask),
+            None,
+            &meta,
+            None,
+            42,
+        )
+    }
+
+    #[test]
+    fn full_scan_and_index_plans_agree_on_results() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let exec_t = f.exec_table();
+        let expected: usize = 100; // timestamps 100..=499 with i % 4 == 0
+        for mask in 0..8u32 {
+            let plan = plan_with(&f, &q, mask);
+            let out = execute(&q, &plan, &exec_t, None, None, true).unwrap();
+            assert_eq!(out.result_rows, expected, "mask {mask}");
+            match out.result {
+                QueryResult::Points(points) => assert_eq!(points.len(), expected),
+                other => panic!("unexpected result {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn work_profiles_differ_between_plans() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let exec_t = f.exec_table();
+        let full = execute(&q, &plan_with(&f, &q, 0), &exec_t, None, None, false).unwrap();
+        let idx = execute(&q, &plan_with(&f, &q, 0b010), &exec_t, None, None, false).unwrap();
+        assert!(full.work.seq_rows == 1000);
+        assert!(idx.work.seq_rows == 0);
+        assert_eq!(idx.work.index_probes, 1);
+        assert_eq!(idx.work.heap_fetches, 400); // timestamps 100..=499
+    }
+
+    #[test]
+    fn binned_output_counts_points_per_bin() {
+        let f = tweets_fixture();
+        let q = Query::select("tweets")
+            .filter(Predicate::time_range(1, 0, 999))
+            .output(OutputKind::BinnedCounts {
+                point_attr: 2,
+                grid: BinGrid::new(GeoRect::new(-120.0, 34.0, -110.0, 36.0), 10, 1),
+            });
+        let plan = plan_with(&f, &q, 0b1);
+        let out = execute(&q, &plan, &f.exec_table(), None, None, true).unwrap();
+        match out.result {
+            QueryResult::Bins(bins) => {
+                let total: u64 = bins.iter().map(|(_, c)| c).sum();
+                assert_eq!(total, 1000);
+                assert!(bins.len() <= 10);
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sample_plan_returns_subset() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let mut plan = plan_with(&f, &q, 0b111);
+        plan.approx = Some(ApproxRule::SampleTable { fraction_pct: 20 });
+        let out = execute(&q, &plan, &f.exec_table(), None, None, true).unwrap();
+        assert!(out.result_rows < 100);
+        assert!(out.result_rows > 0);
+    }
+
+    #[test]
+    fn missing_sample_table_is_an_error() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let mut plan = plan_with(&f, &q, 0b111);
+        plan.approx = Some(ApproxRule::SampleTable { fraction_pct: 40 });
+        let err = execute(&q, &plan, &f.exec_table(), None, None, true).unwrap_err();
+        assert!(matches!(err, Error::SampleMissing { fraction_pct: 40, .. }));
+    }
+
+    #[test]
+    fn limit_caps_result_rows() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let plan = plan_with(&f, &q, 0b010);
+        let out = execute(&q, &plan, &f.exec_table(), None, Some(10), true).unwrap();
+        assert_eq!(out.result_rows, 10);
+    }
+
+    #[test]
+    fn tablesample_rule_uses_hash_filter() {
+        let f = tweets_fixture();
+        let q = Query::select("tweets")
+            .filter(Predicate::time_range(1, 0, 999))
+            .output(OutputKind::Count);
+        let mut plan = plan_with(&f, &q, 0b1);
+        plan.approx = Some(ApproxRule::TableSample { fraction_pct: 50 });
+        let out = execute(&q, &plan, &f.exec_table(), None, None, true).unwrap();
+        let kept = out.result_rows as f64 / 1000.0;
+        assert!((0.3..0.7).contains(&kept), "kept fraction {kept}");
+    }
+
+    #[test]
+    fn join_methods_return_identical_results() {
+        let tweets = tweets_fixture();
+        let users = users_fixture();
+        let q = base_query().join_with(crate::query::JoinSpec {
+            right_table: "users".into(),
+            left_attr: 4,
+            right_attr: 0,
+            right_predicates: vec![Predicate::numeric_range(1, 0.0, 200.0)],
+        });
+        let mut results = Vec::new();
+        for method in JoinMethod::all() {
+            let mut plan = plan_with(&tweets, &q, 0b010);
+            plan.join = Some(crate::plan::JoinPlan {
+                method,
+                right_table: "users".into(),
+                left_attr: 4,
+                right_attr: 0,
+            });
+            let out = execute(
+                &q,
+                &plan,
+                &tweets.exec_table(),
+                Some(&users.exec_table()),
+                None,
+                true,
+            )
+            .unwrap();
+            results.push(out.result_rows);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert!(results[0] > 0);
+        // Dimension predicate keeps users with tweet_count <= 200, i.e. ids 0..=20.
+        assert!(results[0] < 100);
+    }
+
+    #[test]
+    fn join_without_dim_table_errors() {
+        let tweets = tweets_fixture();
+        let q = base_query().join_with(crate::query::JoinSpec {
+            right_table: "users".into(),
+            left_attr: 4,
+            right_attr: 0,
+            right_predicates: vec![],
+        });
+        let mut plan = plan_with(&tweets, &q, 0b010);
+        plan.join = Some(crate::plan::JoinPlan {
+            method: JoinMethod::Hash,
+            right_table: "users".into(),
+            left_attr: 4,
+            right_attr: 0,
+        });
+        assert!(execute(&q, &plan, &tweets.exec_table(), None, None, true).is_err());
+    }
+
+    #[test]
+    fn unknown_keyword_returns_empty() {
+        let f = tweets_fixture();
+        let q = Query::select("tweets")
+            .filter(Predicate::keyword(3, "doesnotexist"))
+            .output(OutputKind::Count);
+        let plan = plan_with(&f, &q, 0b1);
+        let out = execute(&q, &plan, &f.exec_table(), None, None, true).unwrap();
+        assert_eq!(out.result_rows, 0);
+    }
+
+    #[test]
+    fn count_only_mode_skips_materialization() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let plan = plan_with(&f, &q, 0b111);
+        let out = execute(&q, &plan, &f.exec_table(), None, None, false).unwrap();
+        assert!(matches!(out.result, QueryResult::Count(100)));
+    }
+}

@@ -1,0 +1,8 @@
+//! Plan execution over in-memory tables.
+
+mod executor;
+mod result;
+
+pub use executor::{execute, ExecOutcome, ExecTable};
+pub(crate) use executor::eval_predicate as executor_eval;
+pub use result::QueryResult;

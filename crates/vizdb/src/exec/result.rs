@@ -1,0 +1,98 @@
+//! Query results returned to the frontend (and to the visualization quality functions).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::GeoPoint;
+
+/// The materialised result of a (possibly rewritten) visualization query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// Raw points for scatterplots: `(record id of the fact row, point)`.
+    Points(Vec<(i64, GeoPoint)>),
+    /// Binned counts for heatmaps / choropleth maps: `(bin id, count)` sorted by bin id.
+    Bins(Vec<(u32, u64)>),
+    /// A bare row count.
+    Count(u64),
+}
+
+impl QueryResult {
+    /// Number of rows (points, bins or 1 for a count) in the result.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Points(v) => v.len(),
+            QueryResult::Bins(v) => v.len(),
+            QueryResult::Count(_) => 1,
+        }
+    }
+
+    /// Returns `true` when the result carries no data.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            QueryResult::Points(v) => v.is_empty(),
+            QueryResult::Bins(v) => v.is_empty(),
+            QueryResult::Count(c) => *c == 0,
+        }
+    }
+
+    /// The set of record ids for point results (used by Jaccard-style quality
+    /// functions); `None` for other result kinds.
+    pub fn point_ids(&self) -> Option<Vec<i64>> {
+        match self {
+            QueryResult::Points(v) => Some(v.iter().map(|(id, _)| *id).collect()),
+            _ => None,
+        }
+    }
+
+    /// The bins as a map (`bin id → count`); `None` for non-binned results.
+    pub fn bin_map(&self) -> Option<BTreeMap<u32, u64>> {
+        match self {
+            QueryResult::Bins(v) => Some(v.iter().copied().collect()),
+            _ => None,
+        }
+    }
+
+    /// Total number of underlying data rows represented by the result.
+    pub fn total_rows(&self) -> u64 {
+        match self {
+            QueryResult::Points(v) => v.len() as u64,
+            QueryResult::Bins(v) => v.iter().map(|(_, c)| c).sum(),
+            QueryResult::Count(c) => *c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_accessors() {
+        let r = QueryResult::Points(vec![(1, GeoPoint::new(0.0, 0.0)), (5, GeoPoint::new(1.0, 1.0))]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.point_ids(), Some(vec![1, 5]));
+        assert_eq!(r.bin_map(), None);
+        assert_eq!(r.total_rows(), 2);
+    }
+
+    #[test]
+    fn bins_accessors() {
+        let r = QueryResult::Bins(vec![(0, 10), (7, 3)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_rows(), 13);
+        let map = r.bin_map().unwrap();
+        assert_eq!(map.get(&7), Some(&3));
+        assert_eq!(r.point_ids(), None);
+    }
+
+    #[test]
+    fn count_accessors() {
+        let r = QueryResult::Count(42);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total_rows(), 42);
+        assert!(!r.is_empty());
+        assert!(QueryResult::Count(0).is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! A bulk-loaded B+-tree over `i64` keys.
+//!
+//! The tree indexes timestamp and integer/float columns (floats are indexed by their
+//! order-preserving bit representation at the caller's discretion; `vizdb` stores
+//! numeric predicates as `f64` and converts to a sortable `i64` key via
+//! [`BPlusTree::float_key`]). Each internal node stores per-child subtree row counts so
+//! that *range cardinality* queries run in `O(log n)` without touching the leaves —
+//! this is what makes the oracle selectivity collector cheap.
+
+use serde::{Deserialize, Serialize};
+
+use crate::index::{ScanStats, SecondaryIndex};
+use crate::types::RecordId;
+
+/// Maximum number of keys per leaf / fanout of internal nodes.
+const NODE_CAPACITY: usize = 64;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Leaf {
+    keys: Vec<i64>,
+    rids: Vec<RecordId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Internal {
+    /// Smallest key reachable through each child.
+    min_keys: Vec<i64>,
+    /// Child node indexes (into `BPlusTree::internals` or `BPlusTree::leaves`
+    /// depending on `children_are_leaves`).
+    children: Vec<usize>,
+    /// Number of entries stored below each child.
+    counts: Vec<usize>,
+    children_are_leaves: bool,
+}
+
+/// An immutable, bulk-loaded B+-tree mapping `i64` keys to record ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BPlusTree {
+    leaves: Vec<Leaf>,
+    /// Internal levels, bottom-up: `internals[0]` is the level directly above leaves.
+    internals: Vec<Vec<Internal>>,
+    len: usize,
+    min_key: i64,
+    max_key: i64,
+}
+
+impl BPlusTree {
+    /// Bulk-loads a tree from `(key, record id)` pairs. Pairs need not be sorted.
+    pub fn build(mut entries: Vec<(i64, RecordId)>) -> Self {
+        entries.sort_unstable();
+        let len = entries.len();
+        let (min_key, max_key) = if entries.is_empty() {
+            (0, 0)
+        } else {
+            (entries[0].0, entries[entries.len() - 1].0)
+        };
+
+        // Pack leaves.
+        let mut leaves = Vec::with_capacity(entries.len() / NODE_CAPACITY + 1);
+        for chunk in entries.chunks(NODE_CAPACITY) {
+            leaves.push(Leaf {
+                keys: chunk.iter().map(|e| e.0).collect(),
+                rids: chunk.iter().map(|e| e.1).collect(),
+            });
+        }
+
+        // Build internal levels bottom-up.
+        let mut internals: Vec<Vec<Internal>> = Vec::new();
+        if !leaves.is_empty() {
+            let mut level_entries: Vec<(i64, usize, usize)> = leaves
+                .iter()
+                .enumerate()
+                .map(|(i, l)| (l.keys[0], i, l.keys.len()))
+                .collect();
+            let mut children_are_leaves = true;
+            while level_entries.len() > 1 || internals.is_empty() {
+                let mut level = Vec::new();
+                for chunk in level_entries.chunks(NODE_CAPACITY) {
+                    level.push(Internal {
+                        min_keys: chunk.iter().map(|e| e.0).collect(),
+                        children: chunk.iter().map(|e| e.1).collect(),
+                        counts: chunk.iter().map(|e| e.2).collect(),
+                        children_are_leaves,
+                    });
+                }
+                level_entries = level
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (n.min_keys[0], i, n.counts.iter().sum()))
+                    .collect();
+                internals.push(level);
+                children_are_leaves = false;
+                if level_entries.len() == 1 {
+                    break;
+                }
+            }
+        }
+
+        Self {
+            leaves,
+            internals,
+            len,
+            min_key,
+            max_key,
+        }
+    }
+
+    /// Converts an `f64` to an order-preserving `i64` key.
+    ///
+    /// Negative values map to negative keys and positive values to non-negative keys by
+    /// negating the magnitude bits, so `a <= b` implies `float_key(a) <= float_key(b)`
+    /// for all non-NaN inputs (and `-0.0` / `+0.0` both map to `0`).
+    pub fn float_key(v: f64) -> i64 {
+        let bits = v.to_bits();
+        let magnitude = (bits & 0x7FFF_FFFF_FFFF_FFFF) as i64;
+        if bits >> 63 == 1 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+
+    /// Smallest indexed key (0 when empty).
+    pub fn min_key(&self) -> i64 {
+        self.min_key
+    }
+
+    /// Largest indexed key (0 when empty).
+    pub fn max_key(&self) -> i64 {
+        self.max_key
+    }
+
+    /// Number of tree levels including the leaf level.
+    pub fn height(&self) -> usize {
+        if self.leaves.is_empty() {
+            0
+        } else {
+            self.internals.len() + 1
+        }
+    }
+
+    /// Record ids of all entries with `lo <= key <= hi`, sorted by record id, plus scan
+    /// statistics for the cost model.
+    pub fn range_scan(&self, lo: i64, hi: i64) -> (Vec<RecordId>, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut out = Vec::new();
+        if self.leaves.is_empty() || lo > hi {
+            return (out, stats);
+        }
+        let start_leaf = self.find_leaf(lo, &mut stats);
+        for leaf in &self.leaves[start_leaf..] {
+            stats.nodes_visited += 1;
+            if leaf.keys[0] > hi {
+                break;
+            }
+            for (k, rid) in leaf.keys.iter().zip(leaf.rids.iter()) {
+                if *k > hi {
+                    break;
+                }
+                if *k >= lo {
+                    out.push(*rid);
+                }
+            }
+        }
+        stats.matches = out.len();
+        out.sort_unstable();
+        (out, stats)
+    }
+
+    /// Exact number of entries with `lo <= key <= hi`, computed without visiting leaves
+    /// outside the range boundaries.
+    pub fn range_count(&self, lo: i64, hi: i64) -> usize {
+        if self.leaves.is_empty() || lo > hi {
+            return 0;
+        }
+        let below = match lo.checked_sub(1) {
+            Some(prev) => self.rank_le(prev),
+            None => 0,
+        };
+        self.rank_le(hi) - below
+    }
+
+    /// Number of entries with `key <= bound`.
+    ///
+    /// Descends into the *last* child whose minimum key is `<= bound`; every earlier
+    /// sibling only holds keys `<=` that child's minimum key, so its full count can be
+    /// added without visiting it — this stays correct even when duplicate keys span
+    /// node boundaries.
+    fn rank_le(&self, bound: i64) -> usize {
+        if self.leaves.is_empty() {
+            return 0;
+        }
+        if self.internals.is_empty() {
+            let leaf = &self.leaves[0];
+            return leaf.keys.iter().take_while(|&&k| k <= bound).count();
+        }
+        let mut rank = 0usize;
+        let mut level = self.internals.len() - 1;
+        let mut node = &self.internals[level][0];
+        loop {
+            if node.min_keys[0] > bound {
+                // Entire subtree is above the bound.
+                return rank;
+            }
+            // Find the child to descend into: last child whose min_key <= bound.
+            let mut child_pos = 0usize;
+            for (i, &mk) in node.min_keys.iter().enumerate() {
+                if mk <= bound {
+                    child_pos = i;
+                } else {
+                    break;
+                }
+            }
+            for c in 0..child_pos {
+                rank += node.counts[c];
+            }
+            let child_idx = node.children[child_pos];
+            if node.children_are_leaves {
+                let leaf = &self.leaves[child_idx];
+                for &k in &leaf.keys {
+                    if k <= bound {
+                        rank += 1;
+                    } else {
+                        break;
+                    }
+                }
+                return rank;
+            }
+            level -= 1;
+            node = &self.internals[level][child_idx];
+        }
+    }
+
+    fn find_leaf(&self, key: i64, stats: &mut ScanStats) -> usize {
+        if self.internals.is_empty() {
+            return 0;
+        }
+        let mut level = self.internals.len() - 1;
+        let mut node = &self.internals[level][0];
+        loop {
+            stats.nodes_visited += 1;
+            // Descend into the last child whose minimum key is strictly below `key`.
+            // Duplicates equal to `key` may start in that child even when a later
+            // sibling's minimum equals `key`, so choosing the strictly-below child
+            // guarantees the returned leaf is at or before the first occurrence.
+            let mut child_pos = 0usize;
+            for (i, &mk) in node.min_keys.iter().enumerate() {
+                if mk < key {
+                    child_pos = i;
+                } else {
+                    break;
+                }
+            }
+            let child_idx = node.children[child_pos];
+            if node.children_are_leaves {
+                return child_idx;
+            }
+            level -= 1;
+            node = &self.internals[level][child_idx];
+        }
+    }
+}
+
+impl SecondaryIndex for BPlusTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let leaf_bytes: usize = self
+            .leaves
+            .iter()
+            .map(|l| l.keys.len() * 8 + l.rids.len() * 4)
+            .sum();
+        let internal_bytes: usize = self
+            .internals
+            .iter()
+            .flat_map(|lvl| lvl.iter())
+            .map(|n| n.min_keys.len() * 8 + n.children.len() * 8 + n.counts.len() * 8)
+            .sum();
+        leaf_bytes + internal_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_of(n: i64) -> BPlusTree {
+        // Keys 0, 2, 4, ..., 2(n-1): even keys only, rid = key/2.
+        BPlusTree::build((0..n).map(|i| (2 * i, i as RecordId)).collect())
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = BPlusTree::build(vec![]);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.range_count(0, 100), 0);
+        assert!(t.range_scan(0, 100).0.is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn single_leaf_range_scan_and_count() {
+        let t = tree_of(10);
+        let (rids, stats) = t.range_scan(2, 8);
+        assert_eq!(rids, vec![1, 2, 3, 4]);
+        assert!(stats.nodes_visited >= 1);
+        assert_eq!(t.range_count(2, 8), 4);
+    }
+
+    #[test]
+    fn multi_level_tree_counts_match_scans() {
+        let t = tree_of(10_000);
+        assert!(t.height() >= 3, "10k keys should build a multi-level tree");
+        for (lo, hi) in [(0, 19_998), (500, 700), (9_999, 10_001), (19_998, 19_998)] {
+            let (rids, _) = t.range_scan(lo, hi);
+            assert_eq!(
+                rids.len(),
+                t.range_count(lo, hi),
+                "mismatch for range [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn range_excludes_out_of_bounds() {
+        let t = tree_of(100);
+        assert_eq!(t.range_count(-100, -1), 0);
+        assert_eq!(t.range_count(10_000, 20_000), 0);
+        assert_eq!(t.range_count(i64::MIN, i64::MAX), 100);
+    }
+
+    #[test]
+    fn inverted_bounds_yield_empty() {
+        let t = tree_of(100);
+        assert_eq!(t.range_count(50, 10), 0);
+        assert!(t.range_scan(50, 10).0.is_empty());
+    }
+
+    #[test]
+    fn odd_keys_not_counted() {
+        let t = tree_of(100);
+        // Only even keys exist, so [1,1] is empty and [1,3] has exactly one (key 2).
+        assert_eq!(t.range_count(1, 1), 0);
+        assert_eq!(t.range_count(1, 3), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        let entries: Vec<(i64, RecordId)> = (0..1000).map(|i| ((i % 10) as i64, i)).collect();
+        let t = BPlusTree::build(entries);
+        assert_eq!(t.range_count(3, 3), 100);
+        let (rids, _) = t.range_scan(3, 3);
+        assert_eq!(rids.len(), 100);
+        assert!(rids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn float_key_preserves_order() {
+        let values = [-1000.5, -1.0, -0.0, 0.0, 0.25, 3.7, 1e9];
+        let keys: Vec<i64> = values.iter().map(|&v| BPlusTree::float_key(v)).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn min_max_key_reported() {
+        let t = tree_of(50);
+        assert_eq!(t.min_key(), 0);
+        assert_eq!(t.max_key(), 98);
+    }
+
+    #[test]
+    fn memory_bytes_positive_for_nonempty() {
+        let t = tree_of(1000);
+        assert!(t.memory_bytes() > 1000 * 12 / 2);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn count_equals_bruteforce(
+                keys in proptest::collection::vec(-500i64..500, 0..400),
+                lo in -600i64..600,
+                span in 0i64..300,
+            ) {
+                let hi = lo + span;
+                let entries: Vec<(i64, RecordId)> =
+                    keys.iter().enumerate().map(|(i, &k)| (k, i as RecordId)).collect();
+                let tree = BPlusTree::build(entries);
+                let expected = keys.iter().filter(|&&k| k >= lo && k <= hi).count();
+                prop_assert_eq!(tree.range_count(lo, hi), expected);
+                let (scan, _) = tree.range_scan(lo, hi);
+                prop_assert_eq!(scan.len(), expected);
+            }
+
+            #[test]
+            fn scan_returns_sorted_unique_rids(
+                keys in proptest::collection::vec(0i64..100, 1..300),
+            ) {
+                let entries: Vec<(i64, RecordId)> =
+                    keys.iter().enumerate().map(|(i, &k)| (k, i as RecordId)).collect();
+                let tree = BPlusTree::build(entries);
+                let (scan, _) = tree.range_scan(0, 100);
+                prop_assert!(scan.windows(2).all(|w| w[0] < w[1]));
+                prop_assert_eq!(scan.len(), keys.len());
+            }
+        }
+    }
+}

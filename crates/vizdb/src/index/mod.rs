@@ -1,0 +1,145 @@
+//! Secondary indexes: B+-tree (ordered keys), R-tree (spatial) and inverted index
+//! (keyword). These are the structures the paper's query hints steer the database
+//! towards or away from.
+
+mod btree;
+mod inverted;
+mod rtree;
+
+pub use btree::BPlusTree;
+pub use inverted::{InvertedIndex, PostingList};
+pub use rtree::RTree;
+
+use crate::types::RecordId;
+
+/// Statistics reported by an index scan, consumed by the simulated-time cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScanStats {
+    /// Number of index nodes / postings blocks touched.
+    pub nodes_visited: usize,
+    /// Number of matching record ids produced.
+    pub matches: usize,
+}
+
+/// Common behaviour of all secondary indexes over a single column.
+pub trait SecondaryIndex {
+    /// Number of indexed entries (rows).
+    fn len(&self) -> usize;
+
+    /// Returns `true` when the index holds no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate number of heap bytes used, for reporting.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Intersects several ascending-sorted record-id lists. The result is sorted.
+///
+/// This mirrors the "intersect the record lists" strategy a database uses when a query
+/// hint asks it to combine multiple single-attribute indexes.
+pub fn intersect_sorted(lists: &[Vec<RecordId>]) -> Vec<RecordId> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].clone(),
+        _ => {
+            // Start from the smallest list to minimise work.
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            order.sort_by_key(|&i| lists[i].len());
+            let mut acc = lists[order[0]].clone();
+            for &i in &order[1..] {
+                let other = &lists[i];
+                acc = intersect_two(&acc, other);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+    }
+}
+
+fn intersect_two(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_empty_input() {
+        assert!(intersect_sorted(&[]).is_empty());
+    }
+
+    #[test]
+    fn intersect_single_list_is_identity() {
+        let lists = vec![vec![1, 5, 9]];
+        assert_eq!(intersect_sorted(&lists), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn intersect_two_lists() {
+        let lists = vec![vec![1, 2, 3, 7, 9], vec![2, 3, 4, 9, 11]];
+        assert_eq!(intersect_sorted(&lists), vec![2, 3, 9]);
+    }
+
+    #[test]
+    fn intersect_three_lists_with_empty_result() {
+        let lists = vec![vec![1, 2, 3], vec![2, 3, 4], vec![5, 6]];
+        assert!(intersect_sorted(&lists).is_empty());
+    }
+
+    #[test]
+    fn intersect_is_order_independent() {
+        let a = vec![vec![1, 4, 8, 10], vec![4, 10, 20], vec![0, 4, 10, 30]];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(intersect_sorted(&a), intersect_sorted(&b));
+        assert_eq!(intersect_sorted(&a), vec![4, 10]);
+    }
+
+    #[cfg(test)]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        proptest! {
+            #[test]
+            fn intersection_matches_set_semantics(
+                a in proptest::collection::btree_set(0u32..200, 0..60),
+                b in proptest::collection::btree_set(0u32..200, 0..60),
+                c in proptest::collection::btree_set(0u32..200, 0..60),
+            ) {
+                let lists = vec![
+                    a.iter().copied().collect::<Vec<_>>(),
+                    b.iter().copied().collect::<Vec<_>>(),
+                    c.iter().copied().collect::<Vec<_>>(),
+                ];
+                let expected: Vec<u32> = a
+                    .intersection(&b)
+                    .copied()
+                    .collect::<BTreeSet<_>>()
+                    .intersection(&c)
+                    .copied()
+                    .collect();
+                prop_assert_eq!(intersect_sorted(&lists), expected);
+            }
+        }
+    }
+}

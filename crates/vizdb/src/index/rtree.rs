@@ -1,0 +1,342 @@
+//! An STR (Sort-Tile-Recursive) bulk-loaded R-tree over geographic points.
+//!
+//! The R-tree answers spatial range predicates (`Location in <rect>`) and supports an
+//! exact `range_count` that prunes fully-contained subtrees using per-node counts, so
+//! the oracle selectivity collector does not have to enumerate matches.
+
+use serde::{Deserialize, Serialize};
+
+use crate::index::{ScanStats, SecondaryIndex};
+use crate::types::{GeoPoint, GeoRect, RecordId};
+
+/// Maximum entries per node.
+const NODE_CAPACITY: usize = 32;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    mbr: GeoRect,
+    /// Total number of points stored in this subtree.
+    count: usize,
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum NodeKind {
+    Leaf {
+        points: Vec<GeoPoint>,
+        rids: Vec<RecordId>,
+    },
+    Internal {
+        children: Vec<Node>,
+    },
+}
+
+/// A static, bulk-loaded R-tree over `(point, record id)` pairs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-loads an R-tree with Sort-Tile-Recursive packing.
+    pub fn build(entries: Vec<(GeoPoint, RecordId)>) -> Self {
+        let len = entries.len();
+        if entries.is_empty() {
+            return Self { root: None, len: 0 };
+        }
+        let leaves = Self::pack_leaves(entries);
+        let root = Self::pack_upwards(leaves);
+        Self {
+            root: Some(root),
+            len,
+        }
+    }
+
+    fn pack_leaves(mut entries: Vec<(GeoPoint, RecordId)>) -> Vec<Node> {
+        // STR: sort by longitude, slice into vertical strips, sort each strip by
+        // latitude, and cut into nodes of NODE_CAPACITY points.
+        let n = entries.len();
+        let leaf_count = n.div_ceil(NODE_CAPACITY);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = n.div_ceil(strip_count.max(1));
+        entries.sort_by(|a, b| a.0.lon.partial_cmp(&b.0.lon).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for strip in entries.chunks_mut(per_strip.max(1)) {
+            strip.sort_by(|a, b| {
+                a.0.lat
+                    .partial_cmp(&b.0.lat)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for chunk in strip.chunks(NODE_CAPACITY) {
+                let mut mbr = GeoRect::empty();
+                let mut points = Vec::with_capacity(chunk.len());
+                let mut rids = Vec::with_capacity(chunk.len());
+                for (p, rid) in chunk {
+                    mbr.extend(p);
+                    points.push(*p);
+                    rids.push(*rid);
+                }
+                leaves.push(Node {
+                    mbr,
+                    count: chunk.len(),
+                    kind: NodeKind::Leaf { points, rids },
+                });
+            }
+        }
+        leaves
+    }
+
+    fn pack_upwards(mut level: Vec<Node>) -> Node {
+        while level.len() > 1 {
+            // Sort nodes by MBR centre longitude before grouping (keeps siblings local).
+            level.sort_by(|a, b| {
+                let ca = (a.mbr.min_lon + a.mbr.max_lon) * 0.5;
+                let cb = (b.mbr.min_lon + b.mbr.max_lon) * 0.5;
+                ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_CAPACITY));
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let children: Vec<Node> = iter.by_ref().take(NODE_CAPACITY).collect();
+                let mut mbr = GeoRect::empty();
+                let mut count = 0;
+                for c in &children {
+                    mbr = mbr.union(&c.mbr);
+                    count += c.count;
+                }
+                next.push(Node {
+                    mbr,
+                    count,
+                    kind: NodeKind::Internal { children },
+                });
+            }
+            level = next;
+        }
+        level.into_iter().next().expect("non-empty level")
+    }
+
+    /// Minimum bounding rectangle of all indexed points (empty rect when empty).
+    pub fn bounds(&self) -> GeoRect {
+        self.root
+            .as_ref()
+            .map(|r| r.mbr)
+            .unwrap_or_else(GeoRect::empty)
+    }
+
+    /// Record ids of all points inside `rect`, sorted ascending, plus scan statistics.
+    pub fn range_scan(&self, rect: &GeoRect) -> (Vec<RecordId>, ScanStats) {
+        let mut out = Vec::new();
+        let mut stats = ScanStats::default();
+        if let Some(root) = &self.root {
+            Self::scan_node(root, rect, &mut out, &mut stats);
+        }
+        out.sort_unstable();
+        stats.matches = out.len();
+        (out, stats)
+    }
+
+    fn scan_node(node: &Node, rect: &GeoRect, out: &mut Vec<RecordId>, stats: &mut ScanStats) {
+        if !node.mbr.intersects(rect) {
+            return;
+        }
+        stats.nodes_visited += 1;
+        match &node.kind {
+            NodeKind::Leaf { points, rids } => {
+                if rect.contains_rect(&node.mbr) {
+                    out.extend_from_slice(rids);
+                } else {
+                    for (p, rid) in points.iter().zip(rids.iter()) {
+                        if rect.contains(p) {
+                            out.push(*rid);
+                        }
+                    }
+                }
+            }
+            NodeKind::Internal { children } => {
+                for child in children {
+                    if rect.contains_rect(&child.mbr) {
+                        stats.nodes_visited += 1;
+                        Self::collect_all(child, out);
+                    } else {
+                        Self::scan_node(child, rect, out, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_all(node: &Node, out: &mut Vec<RecordId>) {
+        match &node.kind {
+            NodeKind::Leaf { rids, .. } => out.extend_from_slice(rids),
+            NodeKind::Internal { children } => {
+                for child in children {
+                    Self::collect_all(child, out);
+                }
+            }
+        }
+    }
+
+    /// Exact number of indexed points inside `rect`, pruning contained / disjoint
+    /// subtrees via node counts and MBRs.
+    pub fn range_count(&self, rect: &GeoRect) -> usize {
+        match &self.root {
+            Some(root) => Self::count_node(root, rect),
+            None => 0,
+        }
+    }
+
+    fn count_node(node: &Node, rect: &GeoRect) -> usize {
+        if !node.mbr.intersects(rect) {
+            return 0;
+        }
+        if rect.contains_rect(&node.mbr) {
+            return node.count;
+        }
+        match &node.kind {
+            NodeKind::Leaf { points, .. } => points.iter().filter(|p| rect.contains(p)).count(),
+            NodeKind::Internal { children } => {
+                children.iter().map(|c| Self::count_node(c, rect)).sum()
+            }
+        }
+    }
+}
+
+impl SecondaryIndex for RTree {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn memory_bytes(&self) -> usize {
+        fn node_bytes(node: &Node) -> usize {
+            let own = std::mem::size_of::<GeoRect>() + 8;
+            own + match &node.kind {
+                NodeKind::Leaf { points, rids } => points.len() * 16 + rids.len() * 4,
+                NodeKind::Internal { children } => children.iter().map(node_bytes).sum(),
+            }
+        }
+        self.root.as_ref().map(node_bytes).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_tree(side: u32) -> RTree {
+        // Points on an integer grid: (i, j) with rid = i * side + j.
+        let mut entries = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                entries.push((GeoPoint::new(i as f64, j as f64), i * side + j));
+            }
+        }
+        RTree::build(entries)
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(vec![]);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.range_count(&GeoRect::new(-1.0, -1.0, 1.0, 1.0)), 0);
+        assert!(t.range_scan(&GeoRect::new(-1.0, -1.0, 1.0, 1.0)).0.is_empty());
+        assert!(t.bounds().is_empty());
+    }
+
+    #[test]
+    fn full_coverage_returns_everything() {
+        let t = grid_tree(20);
+        let all = GeoRect::new(-1.0, -1.0, 25.0, 25.0);
+        assert_eq!(t.range_count(&all), 400);
+        let (rids, _) = t.range_scan(&all);
+        assert_eq!(rids.len(), 400);
+        assert!(rids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn partial_rect_counts_grid_cells() {
+        let t = grid_tree(20);
+        // Rectangle [3, 7] x [5, 9] covers 5 x 5 = 25 grid points.
+        let rect = GeoRect::new(3.0, 5.0, 7.0, 9.0);
+        assert_eq!(t.range_count(&rect), 25);
+        assert_eq!(t.range_scan(&rect).0.len(), 25);
+    }
+
+    #[test]
+    fn disjoint_rect_is_empty() {
+        let t = grid_tree(10);
+        let rect = GeoRect::new(100.0, 100.0, 110.0, 110.0);
+        assert_eq!(t.range_count(&rect), 0);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let t = grid_tree(10);
+        let b = t.bounds();
+        assert_eq!(b.min_lon, 0.0);
+        assert_eq!(b.max_lat, 9.0);
+    }
+
+    #[test]
+    fn scan_and_count_agree_on_random_rects() {
+        let t = grid_tree(30);
+        for (a, b, c, d) in [
+            (0.5, 0.5, 3.5, 3.5),
+            (-2.0, 10.0, 12.0, 11.0),
+            (29.0, 29.0, 29.0, 29.0),
+            (5.0, 5.0, 25.0, 6.0),
+        ] {
+            let rect = GeoRect::new(a, b, c, d);
+            assert_eq!(t.range_count(&rect), t.range_scan(&rect).0.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_points_all_counted() {
+        let entries: Vec<(GeoPoint, RecordId)> =
+            (0..500).map(|i| (GeoPoint::new(1.0, 1.0), i)).collect();
+        let t = RTree::build(entries);
+        let rect = GeoRect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(t.range_count(&rect), 500);
+    }
+
+    #[test]
+    fn scan_stats_reports_visits() {
+        let t = grid_tree(40);
+        let (_, stats) = t.range_scan(&GeoRect::new(0.0, 0.0, 5.0, 5.0));
+        assert!(stats.nodes_visited > 0);
+        assert_eq!(stats.matches, 36);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn count_matches_bruteforce(
+                pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..300),
+                qx in -60.0f64..60.0,
+                qy in -60.0f64..60.0,
+                w in 0.0f64..40.0,
+                h in 0.0f64..40.0,
+            ) {
+                let entries: Vec<(GeoPoint, RecordId)> = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(x, y))| (GeoPoint::new(x, y), i as RecordId))
+                    .collect();
+                let tree = RTree::build(entries);
+                let rect = GeoRect::new(qx, qy, qx + w, qy + h);
+                let expected = pts
+                    .iter()
+                    .filter(|&&(x, y)| rect.contains(&GeoPoint::new(x, y)))
+                    .count();
+                prop_assert_eq!(tree.range_count(&rect), expected);
+                prop_assert_eq!(tree.range_scan(&rect).0.len(), expected);
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! The cost-based optimizer: cardinality estimation (with realistic errors), a plan
+//! cost predictor and the hint-aware planner.
+
+mod cardinality;
+mod cost;
+mod planner;
+
+pub use cardinality::{estimate_selectivity, TableMeta};
+pub use cost::{predict_work, PlanShape};
+pub use planner::Planner;

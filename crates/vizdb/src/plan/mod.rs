@@ -1,0 +1,5 @@
+//! Physical plan representation.
+
+mod physical;
+
+pub use physical::{JoinPlan, PhysicalPlan};

@@ -1,0 +1,7 @@
+//! Query representation: predicates, output shapes, joins and SQL rendering.
+
+mod ast;
+mod sql;
+
+pub use ast::{BinGrid, JoinSpec, OutputKind, Predicate, Query};
+pub use sql::render_sql;

@@ -1,0 +1,156 @@
+//! Dictionary encoding for text columns.
+//!
+//! Text documents (e.g. tweet bodies) are stored as lists of [`TokenId`]s. The
+//! dictionary maps words to token ids and keeps per-token document frequencies, which
+//! the statistics module and the inverted index both rely on.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::TokenId;
+
+/// A bidirectional word ↔ token-id mapping with document-frequency counters.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Dictionary {
+    word_to_id: HashMap<String, TokenId>,
+    id_to_word: Vec<String>,
+    /// Number of documents each token appears in (not total occurrences).
+    doc_freq: Vec<u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the token id for `word`, inserting it if unseen.
+    pub fn intern(&mut self, word: &str) -> TokenId {
+        if let Some(&id) = self.word_to_id.get(word) {
+            return id;
+        }
+        let id = self.id_to_word.len() as TokenId;
+        self.word_to_id.insert(word.to_string(), id);
+        self.id_to_word.push(word.to_string());
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Returns the token id for `word` if it has been interned.
+    pub fn lookup(&self, word: &str) -> Option<TokenId> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// Returns the word for a token id, if valid.
+    pub fn word(&self, id: TokenId) -> Option<&str> {
+        self.id_to_word.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Returns `true` when no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_word.is_empty()
+    }
+
+    /// Records that `token` occurred in one more document.
+    pub fn bump_doc_freq(&mut self, token: TokenId) {
+        if let Some(slot) = self.doc_freq.get_mut(token as usize) {
+            *slot += 1;
+        }
+    }
+
+    /// Document frequency of `token` (0 for unknown tokens).
+    pub fn doc_freq(&self, token: TokenId) -> u32 {
+        self.doc_freq.get(token as usize).copied().unwrap_or(0)
+    }
+
+    /// Average document frequency over all tokens, or 0.0 for an empty dictionary.
+    ///
+    /// This is exactly the coarse statistic the default (error-prone) keyword
+    /// selectivity estimator uses.
+    pub fn average_doc_freq(&self) -> f64 {
+        if self.doc_freq.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.doc_freq.iter().map(|&f| f as u64).sum();
+        total as f64 / self.doc_freq.len() as f64
+    }
+
+    /// The `k` most frequent tokens and their document frequencies (most frequent
+    /// first). Mirrors PostgreSQL's most-common-values statistic.
+    pub fn most_common(&self, k: usize) -> Vec<(TokenId, u32)> {
+        let mut pairs: Vec<(TokenId, u32)> = self
+            .doc_freq
+            .iter()
+            .enumerate()
+            .map(|(id, &f)| (id as TokenId, f))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("covid");
+        let b = d.intern("covid");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn lookup_and_word_round_trip() {
+        let mut d = Dictionary::new();
+        let id = d.intern("thanksgiving");
+        assert_eq!(d.lookup("thanksgiving"), Some(id));
+        assert_eq!(d.word(id), Some("thanksgiving"));
+        assert_eq!(d.lookup("unknown"), None);
+        assert_eq!(d.word(999), None);
+    }
+
+    #[test]
+    fn doc_freq_tracking() {
+        let mut d = Dictionary::new();
+        let covid = d.intern("covid");
+        let rare = d.intern("rare");
+        d.bump_doc_freq(covid);
+        d.bump_doc_freq(covid);
+        d.bump_doc_freq(rare);
+        assert_eq!(d.doc_freq(covid), 2);
+        assert_eq!(d.doc_freq(rare), 1);
+        assert_eq!(d.doc_freq(42), 0);
+        assert!((d.average_doc_freq() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_common_orders_by_frequency() {
+        let mut d = Dictionary::new();
+        for (word, count) in [("a", 5u32), ("b", 10), ("c", 1)] {
+            let id = d.intern(word);
+            for _ in 0..count {
+                d.bump_doc_freq(id);
+            }
+        }
+        let top = d.most_common(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(d.word(top[0].0), Some("b"));
+        assert_eq!(top[0].1, 10);
+        assert_eq!(d.word(top[1].0), Some("a"));
+    }
+
+    #[test]
+    fn average_doc_freq_empty_is_zero() {
+        assert_eq!(Dictionary::new().average_doc_freq(), 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Row storage: columnar tables, text dictionaries and sample tables.
+
+mod dictionary;
+mod sample;
+mod table;
+
+pub use dictionary::Dictionary;
+pub use sample::SampleTable;
+pub use table::{ColumnData, RowWriter, Table, TableBuilder};

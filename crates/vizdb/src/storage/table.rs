@@ -1,0 +1,401 @@
+//! Columnar table storage and the builder used to load generated datasets.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::schema::{ColumnType, TableSchema};
+use crate::storage::Dictionary;
+use crate::types::{GeoPoint, RecordId, Timestamp, TokenId};
+
+/// Physical storage for one column. Variants correspond to [`ColumnType`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// Integer column.
+    Int(Vec<i64>),
+    /// Float column.
+    Float(Vec<f64>),
+    /// Timestamp column (Unix seconds).
+    Timestamp(Vec<Timestamp>),
+    /// Geographic point column.
+    Geo(Vec<GeoPoint>),
+    /// Tokenised text documents (each row is a sorted, deduplicated token list).
+    Text(Vec<Vec<TokenId>>),
+}
+
+impl ColumnData {
+    fn new(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => ColumnData::Int(Vec::new()),
+            ColumnType::Float => ColumnData::Float(Vec::new()),
+            ColumnType::Timestamp => ColumnData::Timestamp(Vec::new()),
+            ColumnType::Geo => ColumnData::Geo(Vec::new()),
+            ColumnType::Text => ColumnData::Text(Vec::new()),
+        }
+    }
+
+    /// Number of stored rows in this column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Timestamp(v) => v.len(),
+            ColumnData::Geo(v) => v.len(),
+            ColumnData::Text(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type of this column data.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Float(_) => ColumnType::Float,
+            ColumnData::Timestamp(_) => ColumnType::Timestamp,
+            ColumnData::Geo(_) => ColumnType::Geo,
+            ColumnData::Text(_) => ColumnType::Text,
+        }
+    }
+}
+
+/// An immutable, fully loaded table.
+///
+/// Tables are bulk-loaded with [`TableBuilder`] (the simulator models an analytical,
+/// load-once workload, exactly like the paper's datasets) and never mutated afterwards,
+/// which lets indexes and statistics be built once and shared freely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<ColumnData>,
+    dictionary: Dictionary,
+    row_count: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// The text dictionary shared by all text columns of this table.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Raw column data at `col`.
+    pub fn column(&self, col: usize) -> Result<&ColumnData> {
+        self.columns.get(col).ok_or(Error::InvalidAttribute(col))
+    }
+
+    /// Integer value at (`col`, `row`).
+    pub fn int(&self, col: usize, row: RecordId) -> Result<i64> {
+        match self.column(col)? {
+            ColumnData::Int(v) => Ok(v[row as usize]),
+            other => Err(self.type_err(col, "Int", other)),
+        }
+    }
+
+    /// Float value at (`col`, `row`).
+    pub fn float(&self, col: usize, row: RecordId) -> Result<f64> {
+        match self.column(col)? {
+            ColumnData::Float(v) => Ok(v[row as usize]),
+            other => Err(self.type_err(col, "Float", other)),
+        }
+    }
+
+    /// Timestamp value at (`col`, `row`).
+    pub fn timestamp(&self, col: usize, row: RecordId) -> Result<Timestamp> {
+        match self.column(col)? {
+            ColumnData::Timestamp(v) => Ok(v[row as usize]),
+            other => Err(self.type_err(col, "Timestamp", other)),
+        }
+    }
+
+    /// Geographic point at (`col`, `row`).
+    pub fn geo(&self, col: usize, row: RecordId) -> Result<GeoPoint> {
+        match self.column(col)? {
+            ColumnData::Geo(v) => Ok(v[row as usize]),
+            other => Err(self.type_err(col, "Geo", other)),
+        }
+    }
+
+    /// Token list at (`col`, `row`).
+    pub fn text(&self, col: usize, row: RecordId) -> Result<&[TokenId]> {
+        match self.column(col)? {
+            ColumnData::Text(v) => Ok(&v[row as usize]),
+            other => Err(self.type_err(col, "Text", other)),
+        }
+    }
+
+    /// Returns `true` when the document at (`col`, `row`) contains `token`.
+    pub fn text_contains(&self, col: usize, row: RecordId, token: TokenId) -> Result<bool> {
+        Ok(self.text(col, row)?.binary_search(&token).is_ok())
+    }
+
+    /// Numeric view of an Int/Float/Timestamp value, used by generic numeric predicates.
+    pub fn numeric(&self, col: usize, row: RecordId) -> Result<f64> {
+        match self.column(col)? {
+            ColumnData::Int(v) => Ok(v[row as usize] as f64),
+            ColumnData::Float(v) => Ok(v[row as usize]),
+            ColumnData::Timestamp(v) => Ok(v[row as usize] as f64),
+            other => Err(self.type_err(col, "numeric", other)),
+        }
+    }
+
+    fn type_err(&self, col: usize, expected: &'static str, actual: &ColumnData) -> Error {
+        Error::TypeMismatch {
+            column: self
+                .schema
+                .column_name(col)
+                .unwrap_or("<unknown>")
+                .to_string(),
+            expected,
+            actual: actual.column_type().name(),
+        }
+    }
+}
+
+/// Writes one row during bulk loading. Obtained from [`TableBuilder::push_row`].
+pub struct RowWriter<'a> {
+    builder: &'a mut TableBuilder,
+}
+
+impl RowWriter<'_> {
+    /// Sets an integer column by name.
+    pub fn set_int(&mut self, column: &str, value: i64) {
+        let idx = self.builder.column_index(column);
+        if let ColumnData::Int(v) = &mut self.builder.columns[idx] {
+            v.push(value);
+        } else {
+            panic!("column {column} is not an Int column");
+        }
+    }
+
+    /// Sets a float column by name.
+    pub fn set_float(&mut self, column: &str, value: f64) {
+        let idx = self.builder.column_index(column);
+        if let ColumnData::Float(v) = &mut self.builder.columns[idx] {
+            v.push(value);
+        } else {
+            panic!("column {column} is not a Float column");
+        }
+    }
+
+    /// Sets a timestamp column by name.
+    pub fn set_timestamp(&mut self, column: &str, value: Timestamp) {
+        let idx = self.builder.column_index(column);
+        if let ColumnData::Timestamp(v) = &mut self.builder.columns[idx] {
+            v.push(value);
+        } else {
+            panic!("column {column} is not a Timestamp column");
+        }
+    }
+
+    /// Sets a geo column by name.
+    pub fn set_geo(&mut self, column: &str, lon: f64, lat: f64) {
+        let idx = self.builder.column_index(column);
+        if let ColumnData::Geo(v) = &mut self.builder.columns[idx] {
+            v.push(GeoPoint::new(lon, lat));
+        } else {
+            panic!("column {column} is not a Geo column");
+        }
+    }
+
+    /// Sets a text column by name from whitespace-separated words. Words are interned
+    /// in the table dictionary; duplicate words within one document are deduplicated.
+    pub fn set_text(&mut self, column: &str, words: &[&str]) {
+        let idx = self.builder.column_index(column);
+        let mut tokens: Vec<TokenId> = words
+            .iter()
+            .map(|w| self.builder.dictionary.intern(w))
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        for &t in &tokens {
+            self.builder.dictionary.bump_doc_freq(t);
+        }
+        if let ColumnData::Text(v) = &mut self.builder.columns[idx] {
+            v.push(tokens);
+        } else {
+            panic!("column {column} is not a Text column");
+        }
+    }
+}
+
+/// Builds a [`Table`] row by row.
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: TableSchema,
+    columns: Vec<ColumnData>,
+    dictionary: Dictionary,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Starts building a table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let columns = schema.columns.iter().map(|c| ColumnData::new(c.ty)).collect();
+        Self {
+            schema,
+            columns,
+            dictionary: Dictionary::new(),
+            rows: 0,
+        }
+    }
+
+    fn column_index(&self, name: &str) -> usize {
+        self.schema
+            .column_index(name)
+            .unwrap_or_else(|_| panic!("unknown column {name} in table {}", self.schema.name))
+    }
+
+    /// Appends one row. The closure must set every column exactly once; this is checked
+    /// by comparing column lengths after the closure runs.
+    pub fn push_row(&mut self, f: impl FnOnce(&mut RowWriter<'_>)) {
+        {
+            let mut writer = RowWriter { builder: self };
+            f(&mut writer);
+        }
+        self.rows += 1;
+        for (i, col) in self.columns.iter().enumerate() {
+            assert_eq!(
+                col.len(),
+                self.rows,
+                "column {} of table {} was not set exactly once for row {}",
+                self.schema.columns[i].name,
+                self.schema.name,
+                self.rows - 1
+            );
+        }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` when no row has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Finalises the table.
+    pub fn build(self) -> Table {
+        Table {
+            schema: self.schema,
+            columns: self.columns,
+            dictionary: self.dictionary,
+            row_count: self.rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn sample_table() -> Table {
+        let schema = TableSchema::new("tweets")
+            .with_column("id", ColumnType::Int)
+            .with_column("created_at", ColumnType::Timestamp)
+            .with_column("coordinates", ColumnType::Geo)
+            .with_column("text", ColumnType::Text)
+            .with_column("followers", ColumnType::Float);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..10i64 {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_timestamp("created_at", 1_600_000_000 + i * 3600);
+                row.set_geo("coordinates", -120.0 + i as f64, 35.0 + i as f64 * 0.5);
+                row.set_text("text", &["covid", if i % 2 == 0 { "vaccine" } else { "mask" }]);
+                row.set_float("followers", i as f64 * 10.0);
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts_rows() {
+        let t = sample_table();
+        assert_eq!(t.row_count(), 10);
+        assert_eq!(t.name(), "tweets");
+    }
+
+    #[test]
+    fn typed_accessors_return_values() {
+        let t = sample_table();
+        assert_eq!(t.int(0, 3).unwrap(), 3);
+        assert_eq!(t.timestamp(1, 0).unwrap(), 1_600_000_000);
+        assert!((t.geo(2, 1).unwrap().lon + 119.0).abs() < 1e-9);
+        assert_eq!(t.float(4, 2).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn typed_accessors_reject_wrong_type() {
+        let t = sample_table();
+        assert!(t.int(1, 0).is_err());
+        assert!(t.geo(0, 0).is_err());
+        assert!(t.text(2, 0).is_err());
+    }
+
+    #[test]
+    fn text_contains_uses_dictionary_tokens() {
+        let t = sample_table();
+        let covid = t.dictionary().lookup("covid").unwrap();
+        let vaccine = t.dictionary().lookup("vaccine").unwrap();
+        assert!(t.text_contains(3, 0, covid).unwrap());
+        assert!(t.text_contains(3, 0, vaccine).unwrap());
+        assert!(!t.text_contains(3, 1, vaccine).unwrap());
+    }
+
+    #[test]
+    fn numeric_view_covers_int_float_timestamp() {
+        let t = sample_table();
+        assert_eq!(t.numeric(0, 5).unwrap(), 5.0);
+        assert_eq!(t.numeric(4, 5).unwrap(), 50.0);
+        assert_eq!(t.numeric(1, 0).unwrap(), 1_600_000_000.0);
+        assert!(t.numeric(2, 0).is_err());
+    }
+
+    #[test]
+    fn dictionary_doc_freqs_counted_per_document() {
+        let t = sample_table();
+        let covid = t.dictionary().lookup("covid").unwrap();
+        assert_eq!(t.dictionary().doc_freq(covid), 10);
+        let vaccine = t.dictionary().lookup("vaccine").unwrap();
+        assert_eq!(t.dictionary().doc_freq(vaccine), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not set exactly once")]
+    fn push_row_panics_when_column_missing() {
+        let schema = TableSchema::new("t")
+            .with_column("a", ColumnType::Int)
+            .with_column("b", ColumnType::Int);
+        let mut b = TableBuilder::new(schema);
+        b.push_row(|row| {
+            row.set_int("a", 1);
+            // "b" intentionally not set.
+        });
+    }
+
+    #[test]
+    fn invalid_column_index_errors() {
+        let t = sample_table();
+        assert!(matches!(t.column(42), Err(Error::InvalidAttribute(42))));
+    }
+}

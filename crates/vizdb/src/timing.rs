@@ -1,0 +1,302 @@
+//! Simulated-time cost model.
+//!
+//! Every physical operation is charged a deterministic number of *simulated*
+//! milliseconds, calibrated so that the generated workloads span the same range the
+//! paper reports (tens of milliseconds for good plans, multiple seconds for bad plans
+//! over the scaled-down tables). Execution times therefore never depend on the host
+//! machine, which keeps experiments reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Behavioural profile of the simulated backend database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DbProfile {
+    /// PostgreSQL-like behaviour: execution time is a pure function of the work the
+    /// plan performs.
+    #[default]
+    Postgres,
+    /// Commercial-database-like behaviour (paper §7.6): execution time additionally
+    /// depends on factors invisible to a selectivity-only model (buffer warmth, dynamic
+    /// plan changes), modelled as deterministic pseudo-random multiplicative noise.
+    Commercial,
+}
+
+/// Millisecond cost constants of the simulated execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Fixed per-query overhead (parsing, planning inside the engine, result shipping).
+    pub query_overhead_ms: f64,
+    /// Sequential scan cost per row.
+    pub seq_row_ms: f64,
+    /// Predicate evaluation cost per (row, predicate) during scans and residual filters.
+    pub filter_eval_ms: f64,
+    /// Fixed cost of opening one index (tree descent / postings lookup).
+    pub index_probe_ms: f64,
+    /// Cost per index entry read (posting, leaf entry, R-tree point).
+    pub index_entry_ms: f64,
+    /// Cost per element during record-id list intersection.
+    pub intersect_entry_ms: f64,
+    /// Cost of fetching one candidate row from the heap (random access).
+    pub heap_fetch_ms: f64,
+    /// Cost per produced output row (projection + serialisation).
+    pub output_row_ms: f64,
+    /// Cost per row of group-by / binning.
+    pub group_row_ms: f64,
+    /// Hash join: build cost per dimension row.
+    pub hash_build_ms: f64,
+    /// Hash join: probe cost per fact row.
+    pub hash_probe_ms: f64,
+    /// Index nested-loop join: probe cost per fact row.
+    pub nl_probe_ms: f64,
+    /// Merge join: per-row sort/merge cost factor (multiplied by `log2(rows)`).
+    pub merge_row_ms: f64,
+    /// Commercial-profile noise amplitude: execution time is multiplied by a factor in
+    /// `[1/(1+amp), 1+amp]` drawn deterministically per (query, plan).
+    pub commercial_noise_amp: f64,
+    /// Probability (deterministic hash-based) of a "cold cache" penalty multiplying the
+    /// query time under the commercial profile.
+    pub cold_cache_prob: f64,
+    /// Multiplier applied on a cold-cache hit.
+    pub cold_cache_factor: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self {
+            query_overhead_ms: 10.0,
+            seq_row_ms: 0.02,
+            filter_eval_ms: 0.004,
+            index_probe_ms: 2.0,
+            index_entry_ms: 0.006,
+            intersect_entry_ms: 0.002,
+            heap_fetch_ms: 0.02,
+            output_row_ms: 0.005,
+            group_row_ms: 0.003,
+            hash_build_ms: 0.01,
+            hash_probe_ms: 0.012,
+            nl_probe_ms: 0.02,
+            merge_row_ms: 0.012,
+            commercial_noise_amp: 1.5,
+            cold_cache_prob: 0.15,
+            cold_cache_factor: 3.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Parameters scaled by `factor` (> 1 slows everything down uniformly), used to
+    /// emulate larger datasets without generating more rows.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.seq_row_ms *= factor;
+        self.filter_eval_ms *= factor;
+        self.index_entry_ms *= factor;
+        self.intersect_entry_ms *= factor;
+        self.heap_fetch_ms *= factor;
+        self.output_row_ms *= factor;
+        self.group_row_ms *= factor;
+        self.hash_build_ms *= factor;
+        self.hash_probe_ms *= factor;
+        self.nl_probe_ms *= factor;
+        self.merge_row_ms *= factor;
+        self
+    }
+}
+
+/// Raw operation counts reported by the executor, converted to simulated milliseconds
+/// by [`execution_time_ms`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// Rows touched by sequential scans.
+    pub seq_rows: u64,
+    /// Individual predicate evaluations performed.
+    pub filter_evals: u64,
+    /// Number of index probes (tree descents / postings lookups).
+    pub index_probes: u64,
+    /// Index entries read across all index scans.
+    pub index_entries: u64,
+    /// Elements pushed through record-id intersection.
+    pub intersect_entries: u64,
+    /// Candidate rows fetched from the heap.
+    pub heap_fetches: u64,
+    /// Output rows produced.
+    pub output_rows: u64,
+    /// Rows passed through group-by / binning.
+    pub grouped_rows: u64,
+    /// Dimension rows hashed (hash join build side).
+    pub hash_build_rows: u64,
+    /// Fact rows probed into a hash table.
+    pub hash_probe_rows: u64,
+    /// Fact rows driving an index nested-loop join.
+    pub nl_probe_rows: u64,
+    /// Rows passed through merge-join sorting/merging, already multiplied by
+    /// `log2(rows)` by the executor.
+    pub merge_weighted_rows: u64,
+}
+
+impl WorkProfile {
+    /// Adds another work profile to this one.
+    pub fn add(&mut self, other: &WorkProfile) {
+        self.seq_rows += other.seq_rows;
+        self.filter_evals += other.filter_evals;
+        self.index_probes += other.index_probes;
+        self.index_entries += other.index_entries;
+        self.intersect_entries += other.intersect_entries;
+        self.heap_fetches += other.heap_fetches;
+        self.output_rows += other.output_rows;
+        self.grouped_rows += other.grouped_rows;
+        self.hash_build_rows += other.hash_build_rows;
+        self.hash_probe_rows += other.hash_probe_rows;
+        self.nl_probe_rows += other.nl_probe_rows;
+        self.merge_weighted_rows += other.merge_weighted_rows;
+    }
+}
+
+/// Converts a [`WorkProfile`] to simulated milliseconds under `params`.
+pub fn execution_time_ms(work: &WorkProfile, params: &CostParams) -> f64 {
+    params.query_overhead_ms
+        + work.seq_rows as f64 * params.seq_row_ms
+        + work.filter_evals as f64 * params.filter_eval_ms
+        + work.index_probes as f64 * params.index_probe_ms
+        + work.index_entries as f64 * params.index_entry_ms
+        + work.intersect_entries as f64 * params.intersect_entry_ms
+        + work.heap_fetches as f64 * params.heap_fetch_ms
+        + work.output_rows as f64 * params.output_row_ms
+        + work.grouped_rows as f64 * params.group_row_ms
+        + work.hash_build_rows as f64 * params.hash_build_ms
+        + work.hash_probe_rows as f64 * params.hash_probe_ms
+        + work.nl_probe_rows as f64 * params.nl_probe_ms
+        + work.merge_weighted_rows as f64 * params.merge_row_ms
+}
+
+/// Applies the commercial-database noise model to a base execution time.
+///
+/// The noise factor is a pure function of `fingerprint` (a hash of the query and the
+/// plan), so repeated runs are reproducible while remaining unpredictable to a
+/// selectivity-only estimator — exactly the property §7.6 relies on.
+pub fn apply_profile_noise(
+    base_ms: f64,
+    profile: DbProfile,
+    params: &CostParams,
+    fingerprint: u64,
+) -> f64 {
+    match profile {
+        DbProfile::Postgres => base_ms,
+        DbProfile::Commercial => {
+            let u = hash_unit(fingerprint);
+            // Map u in [0,1) to a factor in [1/(1+amp), 1+amp] on a log scale.
+            let amp = params.commercial_noise_amp.max(0.0);
+            let lo = (1.0 / (1.0 + amp)).ln();
+            let hi = (1.0 + amp).ln();
+            let mut factor = (lo + u * (hi - lo)).exp();
+            let v = hash_unit(fingerprint.wrapping_mul(0x9E3779B97F4A7C15));
+            if v < params.cold_cache_prob {
+                factor *= params.cold_cache_factor;
+            }
+            base_ms * factor
+        }
+    }
+}
+
+/// Maps a 64-bit fingerprint to a deterministic value in `[0, 1)` (SplitMix64 finaliser).
+pub fn hash_unit(mut x: u64) -> f64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_positive() {
+        let p = CostParams::default();
+        assert!(p.seq_row_ms > 0.0 && p.heap_fetch_ms > 0.0 && p.query_overhead_ms > 0.0);
+    }
+
+    #[test]
+    fn empty_work_costs_only_overhead() {
+        let p = CostParams::default();
+        let t = execution_time_ms(&WorkProfile::default(), &p);
+        assert!((t - p.query_overhead_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_scan_dominates_index_scan() {
+        let p = CostParams::default();
+        let full = WorkProfile {
+            seq_rows: 200_000,
+            filter_evals: 600_000,
+            ..Default::default()
+        };
+        let indexed = WorkProfile {
+            index_probes: 1,
+            index_entries: 600,
+            heap_fetches: 600,
+            filter_evals: 1_200,
+            ..Default::default()
+        };
+        let t_full = execution_time_ms(&full, &p);
+        let t_idx = execution_time_ms(&indexed, &p);
+        assert!(t_full > 4_000.0, "full scan should exceed 4s, got {t_full}");
+        assert!(t_idx < 100.0, "selective index scan should be fast, got {t_idx}");
+    }
+
+    #[test]
+    fn work_profile_add_accumulates() {
+        let mut a = WorkProfile {
+            seq_rows: 10,
+            heap_fetches: 5,
+            ..Default::default()
+        };
+        let b = WorkProfile {
+            seq_rows: 3,
+            output_rows: 7,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.seq_rows, 13);
+        assert_eq!(a.heap_fetches, 5);
+        assert_eq!(a.output_rows, 7);
+    }
+
+    #[test]
+    fn postgres_profile_applies_no_noise() {
+        let p = CostParams::default();
+        assert_eq!(apply_profile_noise(100.0, DbProfile::Postgres, &p, 42), 100.0);
+    }
+
+    #[test]
+    fn commercial_profile_noise_is_deterministic_and_bounded() {
+        let p = CostParams::default();
+        let a = apply_profile_noise(100.0, DbProfile::Commercial, &p, 42);
+        let b = apply_profile_noise(100.0, DbProfile::Commercial, &p, 42);
+        assert_eq!(a, b);
+        let max_factor = (1.0 + p.commercial_noise_amp) * p.cold_cache_factor;
+        assert!(a >= 100.0 / (1.0 + p.commercial_noise_amp) - 1e-9);
+        assert!(a <= 100.0 * max_factor + 1e-9);
+        // Different fingerprints should usually give different factors.
+        let c = apply_profile_noise(100.0, DbProfile::Commercial, &p, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hash_unit_is_in_unit_interval() {
+        for x in [0u64, 1, 42, u64::MAX, 0xDEADBEEF] {
+            let u = hash_unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn scaled_params_scale_row_costs_only() {
+        let base = CostParams::default();
+        let scaled = base.scaled(2.0);
+        assert_eq!(scaled.seq_row_ms, base.seq_row_ms * 2.0);
+        assert_eq!(scaled.query_overhead_ms, base.query_overhead_ms);
+        assert_eq!(scaled.index_probe_ms, base.index_probe_ms);
+    }
+}

@@ -1,0 +1,302 @@
+//! Fundamental value types used by the storage layer, indexes and queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a record (row) inside a table.
+///
+/// `u32` keeps per-posting memory small; the simulator targets at most a few million
+/// rows per table.
+pub type RecordId = u32;
+
+/// A Unix timestamp in seconds. Temporal range predicates operate on this type.
+pub type Timestamp = i64;
+
+/// A token identifier produced by [`crate::storage::Dictionary`] for a word in a text
+/// column.
+pub type TokenId = u32;
+
+/// A geographic point (longitude, latitude) in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in degrees, negative west.
+    pub lon: f64,
+    /// Latitude in degrees, negative south.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from longitude and latitude.
+    pub fn new(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+}
+
+/// An axis-aligned geographic bounding box used by spatial range predicates and by the
+/// R-tree index nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoRect {
+    /// Minimum longitude (west edge).
+    pub min_lon: f64,
+    /// Minimum latitude (south edge).
+    pub min_lat: f64,
+    /// Maximum longitude (east edge).
+    pub max_lon: f64,
+    /// Maximum latitude (north edge).
+    pub max_lat: f64,
+}
+
+impl GeoRect {
+    /// Creates a rectangle from its corner coordinates. The corners are normalised so
+    /// that `min_* <= max_*` regardless of argument order.
+    pub fn new(lon_a: f64, lat_a: f64, lon_b: f64, lat_b: f64) -> Self {
+        Self {
+            min_lon: lon_a.min(lon_b),
+            min_lat: lat_a.min(lat_b),
+            max_lon: lon_a.max(lon_b),
+            max_lat: lat_a.max(lat_b),
+        }
+    }
+
+    /// A rectangle that contains nothing (used as the identity for unions).
+    pub fn empty() -> Self {
+        Self {
+            min_lon: f64::INFINITY,
+            min_lat: f64::INFINITY,
+            max_lon: f64::NEG_INFINITY,
+            max_lat: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Returns `true` when the rectangle contains no area at all.
+    pub fn is_empty(&self) -> bool {
+        self.min_lon > self.max_lon || self.min_lat > self.max_lat
+    }
+
+    /// Returns `true` when `point` lies inside (or on the border of) the rectangle.
+    pub fn contains(&self, point: &GeoPoint) -> bool {
+        point.lon >= self.min_lon
+            && point.lon <= self.max_lon
+            && point.lat >= self.min_lat
+            && point.lat <= self.max_lat
+    }
+
+    /// Returns `true` when the two rectangles overlap (sharing a border counts).
+    pub fn intersects(&self, other: &GeoRect) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min_lon <= other.max_lon
+            && self.max_lon >= other.min_lon
+            && self.min_lat <= other.max_lat
+            && self.max_lat >= other.min_lat
+    }
+
+    /// Returns `true` when `other` is entirely inside `self`.
+    pub fn contains_rect(&self, other: &GeoRect) -> bool {
+        !other.is_empty()
+            && other.min_lon >= self.min_lon
+            && other.max_lon <= self.max_lon
+            && other.min_lat >= self.min_lat
+            && other.max_lat <= self.max_lat
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &GeoRect) -> GeoRect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        GeoRect {
+            min_lon: self.min_lon.min(other.min_lon),
+            min_lat: self.min_lat.min(other.min_lat),
+            max_lon: self.max_lon.max(other.max_lon),
+            max_lat: self.max_lat.max(other.max_lat),
+        }
+    }
+
+    /// Grows the rectangle to include `point`.
+    pub fn extend(&mut self, point: &GeoPoint) {
+        self.min_lon = self.min_lon.min(point.lon);
+        self.min_lat = self.min_lat.min(point.lat);
+        self.max_lon = self.max_lon.max(point.lon);
+        self.max_lat = self.max_lat.max(point.lat);
+    }
+
+    /// Area of the rectangle in square degrees, `0.0` when empty.
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_lon - self.min_lon) * (self.max_lat - self.min_lat)
+        }
+    }
+
+    /// The fraction of this rectangle's area covered by the intersection with `other`.
+    ///
+    /// Used by the uniformity-assuming spatial selectivity estimator.
+    pub fn overlap_fraction(&self, other: &GeoRect) -> f64 {
+        if self.area() == 0.0 {
+            return 0.0;
+        }
+        let ilon = (self.max_lon.min(other.max_lon) - self.min_lon.max(other.min_lon)).max(0.0);
+        let ilat = (self.max_lat.min(other.max_lat) - self.min_lat.max(other.min_lat)).max(0.0);
+        (ilon * ilat) / self.area()
+    }
+
+    /// Width (longitude extent) of the rectangle.
+    pub fn width(&self) -> f64 {
+        (self.max_lon - self.min_lon).max(0.0)
+    }
+
+    /// Height (latitude extent) of the rectangle.
+    pub fn height(&self) -> f64 {
+        (self.max_lat - self.min_lat).max(0.0)
+    }
+}
+
+/// A half-open numeric interval `[lo, hi]` used by numeric range predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NumRange {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl NumRange {
+    /// Creates a range, normalising bound order.
+    pub fn new(a: f64, b: f64) -> Self {
+        Self {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
+    }
+
+    /// Returns `true` when `v` falls inside the range (inclusive on both ends).
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Length of the interval.
+    pub fn span(&self) -> f64 {
+        (self.hi - self.lo).max(0.0)
+    }
+}
+
+/// An inclusive time interval `[start, end]` in Unix seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Inclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// Creates a time range, normalising bound order.
+    pub fn new(a: Timestamp, b: Timestamp) -> Self {
+        Self {
+            start: a.min(b),
+            end: a.max(b),
+        }
+    }
+
+    /// Returns `true` when `t` falls inside the interval (inclusive).
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Duration of the interval in seconds.
+    pub fn duration(&self) -> i64 {
+        (self.end - self.start).max(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_contains_point_on_border() {
+        let r = GeoRect::new(-10.0, -10.0, 10.0, 10.0);
+        assert!(r.contains(&GeoPoint::new(10.0, 10.0)));
+        assert!(r.contains(&GeoPoint::new(0.0, 0.0)));
+        assert!(!r.contains(&GeoPoint::new(10.0001, 0.0)));
+    }
+
+    #[test]
+    fn rect_normalises_corner_order() {
+        let r = GeoRect::new(10.0, 10.0, -10.0, -10.0);
+        assert_eq!(r.min_lon, -10.0);
+        assert_eq!(r.max_lat, 10.0);
+    }
+
+    #[test]
+    fn rect_intersection_and_union() {
+        let a = GeoRect::new(0.0, 0.0, 10.0, 10.0);
+        let b = GeoRect::new(5.0, 5.0, 15.0, 15.0);
+        let c = GeoRect::new(20.0, 20.0, 30.0, 30.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&b);
+        assert_eq!(u.max_lon, 15.0);
+        assert_eq!(u.min_lon, 0.0);
+    }
+
+    #[test]
+    fn empty_rect_behaviour() {
+        let e = GeoRect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let a = GeoRect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(!e.intersects(&a));
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn extend_grows_rect() {
+        let mut r = GeoRect::empty();
+        r.extend(&GeoPoint::new(1.0, 2.0));
+        r.extend(&GeoPoint::new(-1.0, 5.0));
+        assert!(!r.is_empty());
+        assert_eq!(r.min_lon, -1.0);
+        assert_eq!(r.max_lat, 5.0);
+    }
+
+    #[test]
+    fn overlap_fraction_full_and_partial() {
+        let a = GeoRect::new(0.0, 0.0, 10.0, 10.0);
+        let full = GeoRect::new(-5.0, -5.0, 15.0, 15.0);
+        assert!((a.overlap_fraction(&full) - 1.0).abs() < 1e-12);
+        let half = GeoRect::new(0.0, 0.0, 5.0, 10.0);
+        assert!((a.overlap_fraction(&half) - 0.5).abs() < 1e-12);
+        let none = GeoRect::new(20.0, 20.0, 25.0, 25.0);
+        assert_eq!(a.overlap_fraction(&none), 0.0);
+    }
+
+    #[test]
+    fn rect_contains_rect() {
+        let outer = GeoRect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = GeoRect::new(2.0, 2.0, 5.0, 5.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+    }
+
+    #[test]
+    fn num_range_contains_and_span() {
+        let r = NumRange::new(5.0, 1.0);
+        assert_eq!(r.lo, 1.0);
+        assert!(r.contains(3.0));
+        assert!(!r.contains(5.5));
+        assert_eq!(r.span(), 4.0);
+    }
+
+    #[test]
+    fn time_range_contains_and_duration() {
+        let r = TimeRange::new(100, 50);
+        assert_eq!(r.start, 50);
+        assert!(r.contains(75));
+        assert!(!r.contains(101));
+        assert_eq!(r.duration(), 50);
+    }
+}

@@ -1,0 +1,93 @@
+//! Dataset scaling presets.
+//!
+//! The paper's tables hold 100–500 million rows on a dedicated server; the simulator
+//! runs in-process, so row counts are scaled down and the per-row cost constants scaled
+//! up by the same factor, keeping absolute query times in the paper's range.
+
+use serde::{Deserialize, Serialize};
+use vizdb::timing::CostParams;
+
+/// Reference row count the default cost constants were calibrated for.
+const REFERENCE_ROWS: f64 = 420_000.0;
+
+/// How large to make a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetScale {
+    /// Number of fact-table rows to generate.
+    pub rows: usize,
+    /// Number of dimension-table (users) rows to generate.
+    pub dim_rows: usize,
+}
+
+impl DatasetScale {
+    /// Minimal scale for unit tests (~5k rows).
+    pub fn tiny() -> Self {
+        Self {
+            rows: 5_000,
+            dim_rows: 200,
+        }
+    }
+
+    /// Default experiment scale (~40k rows): large enough for realistic skew, small
+    /// enough that a full experiment sweep runs in minutes.
+    pub fn small() -> Self {
+        Self {
+            rows: 40_000,
+            dim_rows: 2_000,
+        }
+    }
+
+    /// Larger scale (~200k rows) matching the reference calibration exactly.
+    pub fn large() -> Self {
+        Self {
+            rows: 200_000,
+            dim_rows: 10_000,
+        }
+    }
+
+    /// Cost parameters scaled so that a full sequential scan of the fact table costs
+    /// roughly the same simulated time regardless of the generated row count.
+    pub fn cost_params(&self) -> CostParams {
+        CostParams::default().scaled(REFERENCE_ROWS / self.rows.max(1) as f64)
+    }
+}
+
+impl Default for DatasetScale {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizdb::timing::{execution_time_ms, WorkProfile};
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(DatasetScale::tiny().rows < DatasetScale::small().rows);
+        assert!(DatasetScale::small().rows < DatasetScale::large().rows);
+    }
+
+    #[test]
+    fn scaled_costs_keep_full_scan_time_constant() {
+        let scan_time = |scale: DatasetScale| {
+            let work = WorkProfile {
+                seq_rows: scale.rows as u64,
+                ..Default::default()
+            };
+            execution_time_ms(&work, &scale.cost_params())
+        };
+        let tiny = scan_time(DatasetScale::tiny());
+        let large = scan_time(DatasetScale::large());
+        assert!(
+            (tiny - large).abs() / large < 0.05,
+            "tiny {tiny} vs large {large}"
+        );
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(DatasetScale::default(), DatasetScale::small());
+    }
+}

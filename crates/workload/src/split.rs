@@ -1,0 +1,96 @@
+//! Train / validation / evaluation workload splitting (paper §7.1: half the queries are
+//! held out for evaluation; of the other half, two thirds train the agent and one third
+//! is used for hold-out validation / model selection).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vizdb::query::Query;
+
+/// A three-way split of a generated query workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSplit {
+    /// Queries used to train agents and QTE models.
+    pub train: Vec<Query>,
+    /// Queries used for hold-out validation (agent selection).
+    pub validation: Vec<Query>,
+    /// Queries used only for the final evaluation numbers.
+    pub eval: Vec<Query>,
+}
+
+impl WorkloadSplit {
+    /// Total number of queries across the three parts.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.validation.len() + self.eval.len()
+    }
+}
+
+/// Splits `queries` following the paper's proportions: 50% evaluation, and of the
+/// remaining half 2/3 training and 1/3 validation. The split is deterministic given
+/// `seed`.
+pub fn split_workload(queries: &[Query], seed: u64) -> WorkloadSplit {
+    let mut shuffled: Vec<Query> = queries.to_vec();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5917);
+    shuffled.shuffle(&mut rng);
+
+    let eval_count = shuffled.len() / 2;
+    let eval = shuffled.split_off(shuffled.len() - eval_count);
+    let val_count = shuffled.len() / 3;
+    let validation = shuffled.split_off(shuffled.len() - val_count);
+    WorkloadSplit {
+        train: shuffled,
+        validation,
+        eval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizdb::query::Predicate;
+
+    fn queries(n: usize) -> Vec<Query> {
+        (0..n)
+            .map(|i| {
+                Query::select("t").filter(Predicate::numeric_range(0, i as f64, i as f64 + 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn split_preserves_all_queries() {
+        let qs = queries(120);
+        let split = split_workload(&qs, 1);
+        assert_eq!(split.total(), 120);
+        assert_eq!(split.eval.len(), 60);
+        assert_eq!(split.validation.len(), 20);
+        assert_eq!(split.train.len(), 40);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_dependent() {
+        let qs = queries(30);
+        let a = split_workload(&qs, 7);
+        let b = split_workload(&qs, 7);
+        let c = split_workload(&qs, 8);
+        assert_eq!(a.train, b.train);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn parts_are_disjoint() {
+        let qs = queries(60);
+        let split = split_workload(&qs, 3);
+        for q in &split.train {
+            assert!(!split.eval.contains(q));
+            assert!(!split.validation.contains(q));
+        }
+    }
+
+    #[test]
+    fn tiny_workloads_do_not_panic() {
+        let qs = queries(3);
+        let split = split_workload(&qs, 0);
+        assert_eq!(split.total(), 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Quality-aware rewriting (paper §6): when no exact rewritten query can meet the time
+//! budget, Maliva trades visualization quality for responsiveness by switching to a
+//! sampled table or a LIMIT clause — and the two-stage rewriter only does so when it
+//! has to.
+//!
+//! ```text
+//! cargo run --release --example quality_aware_dashboard
+//! ```
+
+use std::sync::Arc;
+
+use maliva::{QualityAwareMode, QualityAwareRewriter, QueryRewriter, MalivaConfig};
+use maliva_qte::{AccurateQte, QueryTimeEstimator};
+use maliva_quality::{jaccard_quality, QualityFunction};
+use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};
+use vizdb::approx::ApproxRule;
+use vizdb::hints::RewriteOption;
+
+fn main() {
+    let tau_ms = 500.0;
+    let dataset = build_twitter(DatasetScale::tiny(), 11);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 140, 5);
+    let split = split_workload(&workload, 5);
+
+    let qte: Arc<dyn QueryTimeEstimator> = Arc::new(AccurateQte::new(db.clone()));
+    let config = MalivaConfig::with_budget(tau_ms).with_beta(0.5);
+    let rules = ApproxRule::paper_limit_rules();
+
+    println!("training one-stage and two-stage quality-aware rewriters ...");
+    let one_stage = QualityAwareRewriter::train(
+        db.clone(),
+        qte.clone(),
+        &split.train,
+        rules.clone(),
+        QualityAwareMode::OneStage,
+        QualityFunction::Jaccard,
+        &config,
+    )
+    .expect("one-stage training");
+    let two_stage = QualityAwareRewriter::train(
+        db.clone(),
+        qte,
+        &split.train,
+        rules,
+        QualityAwareMode::TwoStage,
+        QualityFunction::Jaccard,
+        &config,
+    )
+    .expect("two-stage training");
+
+    // Find the hardest evaluation queries: those without any viable exact plan.
+    let mut hard = Vec::new();
+    for q in &split.eval {
+        if db.viable_plan_count(q, tau_ms).unwrap_or(0) == 0 {
+            hard.push(q.clone());
+        }
+        if hard.len() == 5 {
+            break;
+        }
+    }
+    println!("{} evaluation queries have no viable exact plan; showing decisions:\n", hard.len());
+
+    for (i, q) in hard.iter().enumerate() {
+        let exact_result = db.run(q, &RewriteOption::original()).expect("run").result;
+        for rewriter in [&two_stage as &dyn QueryRewriter, &one_stage] {
+            let decision = rewriter.rewrite(q).expect("rewrite");
+            let exec = db.execution_time_ms(q, &decision.rewrite).expect("time");
+            let total = decision.planning_ms + exec;
+            let quality = if decision.rewrite.is_exact() {
+                1.0
+            } else {
+                let approx_result = db.run(q, &decision.rewrite).expect("run").result;
+                jaccard_quality(&exact_result, &approx_result)
+            };
+            println!(
+                "query #{i} | {:12} | {:28} | total {:6.0} ms | viable {} | Jaccard quality {:.2}",
+                rewriter.name(),
+                decision
+                    .rewrite
+                    .approx
+                    .map(|r| r.label())
+                    .unwrap_or_else(|| "exact (hints only)".to_string()),
+                total,
+                total <= tau_ms,
+                quality
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,23 @@
+//! # maliva-repro — umbrella crate
+//!
+//! Re-exports the crates of the Maliva reproduction so that the runnable examples and
+//! the cross-crate integration tests can depend on a single package. See the individual
+//! crates for the actual implementation:
+//!
+//! * [`vizdb`] — the simulated backend database (storage, indexes, optimizer, executor,
+//!   simulated timing);
+//! * [`maliva_nn`] — the from-scratch MLP used for the Q-network;
+//! * [`maliva_qte`] — query time estimators (accurate oracle, sampling-based
+//!   approximate);
+//! * [`maliva_quality`] — visualization quality functions;
+//! * [`maliva`] — the MDP-based query rewriter (the paper's contribution);
+//! * [`maliva_baselines`] — the Baseline / Naive / Bao comparators;
+//! * [`maliva_workload`] — synthetic datasets and query workload generators.
+
+pub use maliva;
+pub use maliva_baselines;
+pub use maliva_nn;
+pub use maliva_qte;
+pub use maliva_quality;
+pub use maliva_workload;
+pub use vizdb;

@@ -1,0 +1,152 @@
+//! Cross-crate integration test: dataset generation → QTE training → MDP training →
+//! online rewriting → evaluation, exercising the public API exactly the way the
+//! experiment harness and a downstream middleware would.
+
+use std::sync::Arc;
+
+use maliva::{
+    evaluate_workload, train_agent, MalivaConfig, MalivaRewriter, QueryRewriter, RewardSpec,
+    RewriteSpace,
+};
+use maliva_baselines::{BaoConfig, BaoRewriter, BaselineRewriter};
+use maliva_qte::approximate::ApproximateQteConfig;
+use maliva_qte::{AccurateQte, ApproximateQte};
+use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};
+
+fn fast_config(tau_ms: f64) -> MalivaConfig {
+    MalivaConfig {
+        tau_ms,
+        max_epochs: 3,
+        epsilon_decay_episodes: 120,
+        ..MalivaConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_beats_baseline_on_viable_query_percentage() {
+    let tau_ms = 500.0;
+    let dataset = build_twitter(DatasetScale::tiny(), 4242);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 160, 99);
+    let split = split_workload(&workload, 99);
+    assert!(split.train.len() >= 30, "training split too small");
+
+    let qte = Arc::new(AccurateQte::new(db.clone()));
+    let trained = train_agent(
+        &db,
+        qte.as_ref(),
+        &split.train,
+        &RewriteSpace::hints_only,
+        RewardSpec::efficiency_only(),
+        &fast_config(tau_ms),
+    )
+    .expect("training succeeds");
+    let rewriter = MalivaRewriter::new(
+        "MDP (Accurate-QTE)",
+        db.clone(),
+        qte,
+        trained.agent,
+        Box::new(RewriteSpace::hints_only),
+        tau_ms,
+    );
+
+    let maliva_metrics = evaluate_workload(&rewriter, &db, &split.eval, tau_ms).unwrap();
+    let baseline_metrics =
+        evaluate_workload(&BaselineRewriter::new(), &db, &split.eval, tau_ms).unwrap();
+
+    assert_eq!(maliva_metrics.queries, split.eval.len());
+    // The MDP rewriter must serve at least as many requests interactively as the
+    // baseline (the paper reports a large improvement; at tiny scale we only assert the
+    // direction to keep the test robust).
+    assert!(
+        maliva_metrics.vqp + 1e-9 >= baseline_metrics.vqp,
+        "Maliva VQP {:.1}% should not be below the baseline's {:.1}%",
+        maliva_metrics.vqp,
+        baseline_metrics.vqp
+    );
+    // Every decision must respect the rewrite space (exact rewrites only here).
+    assert!(maliva_metrics.outcomes.iter().all(|o| o.exact));
+}
+
+#[test]
+fn approximate_qte_pipeline_and_bao_run_end_to_end() {
+    let tau_ms = 500.0;
+    let dataset = build_twitter(DatasetScale::tiny(), 777);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 100, 5);
+    let split = split_workload(&workload, 5);
+
+    // Fit the sampling-based QTE on the training workload.
+    let qte_training: Vec<_> = split
+        .train
+        .iter()
+        .map(|q| (q.clone(), RewriteSpace::hints_only(q).options().to_vec()))
+        .collect();
+    let approx_qte = Arc::new(
+        ApproximateQte::fit(db.clone(), ApproximateQteConfig::default(), &qte_training).unwrap(),
+    );
+
+    let trained = train_agent(
+        &db,
+        approx_qte.as_ref(),
+        &split.train,
+        &RewriteSpace::hints_only,
+        RewardSpec::efficiency_only(),
+        &fast_config(tau_ms),
+    )
+    .unwrap();
+    let mdp = MalivaRewriter::new(
+        "MDP (Approximate-QTE)",
+        db.clone(),
+        approx_qte,
+        trained.agent,
+        Box::new(RewriteSpace::hints_only),
+        tau_ms,
+    );
+    let bao = BaoRewriter::train(db.clone(), &split.train, BaoConfig::default()).unwrap();
+
+    let mdp_metrics = evaluate_workload(&mdp, &db, &split.eval, tau_ms).unwrap();
+    let bao_metrics = evaluate_workload(&bao, &db, &split.eval, tau_ms).unwrap();
+    assert!(mdp_metrics.vqp >= 0.0 && mdp_metrics.vqp <= 100.0);
+    assert!(bao_metrics.vqp >= 0.0 && bao_metrics.vqp <= 100.0);
+    // Bao's planning time is a fixed small enumeration cost; the MDP's planning time is
+    // adaptive and must be positive.
+    assert!(mdp_metrics.avg_planning_ms > 0.0);
+    assert!(bao_metrics.avg_planning_ms > 0.0);
+}
+
+#[test]
+fn planning_never_returns_out_of_space_decisions() {
+    let tau_ms = 250.0;
+    let dataset = build_twitter(DatasetScale::tiny(), 1010);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 60, 3);
+    let split = split_workload(&workload, 3);
+    let qte = Arc::new(AccurateQte::new(db.clone()));
+    let trained = train_agent(
+        &db,
+        qte.as_ref(),
+        &split.train,
+        &RewriteSpace::hints_only,
+        RewardSpec::efficiency_only(),
+        &fast_config(tau_ms),
+    )
+    .unwrap();
+    let rewriter = MalivaRewriter::new(
+        "MDP",
+        db.clone(),
+        qte,
+        trained.agent,
+        Box::new(RewriteSpace::hints_only),
+        tau_ms,
+    );
+    for query in &split.eval {
+        let decision = rewriter.rewrite(query).unwrap();
+        let space = RewriteSpace::hints_only(query);
+        assert!(
+            space.options().contains(&decision.rewrite),
+            "decision must come from the rewrite space"
+        );
+        assert!(decision.planning_ms > 0.0);
+    }
+}
