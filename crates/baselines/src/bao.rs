@@ -224,7 +224,11 @@ mod tests {
 
     fn make_query(i: u64) -> Query {
         Query::select("trips")
-            .filter(Predicate::time_range(1, (i as i64 * 931) % 40_000, (i as i64 * 931) % 40_000 + 5_000))
+            .filter(Predicate::time_range(
+                1,
+                (i as i64 * 931) % 40_000,
+                (i as i64 * 931) % 40_000 + 5_000,
+            ))
             .filter(Predicate::numeric_range(3, 0.0, 2.0 + (i % 5) as f64))
             .filter(Predicate::spatial_range(
                 2,
@@ -270,7 +274,11 @@ mod tests {
         let db = build_db();
         let make_numeric_query = |i: u64| {
             Query::select("trips")
-                .filter(Predicate::time_range(1, (i as i64 * 731) % 40_000, (i as i64 * 731) % 40_000 + 2_000))
+                .filter(Predicate::time_range(
+                    1,
+                    (i as i64 * 731) % 40_000,
+                    (i as i64 * 731) % 40_000 + 2_000,
+                ))
                 .filter(Predicate::numeric_range(3, 0.0, 1.0 + (i % 4) as f64))
                 .output(OutputKind::Count)
         };

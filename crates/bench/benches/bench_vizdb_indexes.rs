@@ -18,7 +18,10 @@ fn bench_indexes(c: &mut Criterion) {
         (0..n)
             .map(|i| {
                 (
-                    GeoPoint::new(-125.0 + (i % 590) as f64 * 0.1, 25.0 + (i / 590) as f64 * 0.1),
+                    GeoPoint::new(
+                        -125.0 + (i % 590) as f64 * 0.1,
+                        25.0 + (i / 590) as f64 * 0.1,
+                    ),
                     i,
                 )
             })

@@ -7,9 +7,7 @@
 //! MALIVA_SCALE=small MALIVA_QUERIES=400 cargo run -p maliva-bench --release --bin experiments -- all
 //! ```
 
-use maliva_bench::experiments::{
-    all_experiment_ids, experiment_descriptions, run_experiment,
-};
+use maliva_bench::experiments::{all_experiment_ids, experiment_descriptions, run_experiment};
 use maliva_bench::harness::save_json;
 
 fn main() {
@@ -38,6 +36,14 @@ fn main() {
     } else {
         args
     };
+
+    // Reject unknown ids up front with a clean error instead of panicking mid-run.
+    let known = all_experiment_ids();
+    if let Some(bad) = ids.iter().find(|id| !known.contains(&id.as_str())) {
+        eprintln!("error: unknown experiment id `{bad}`");
+        eprintln!("valid ids: {}", known.join(", "));
+        std::process::exit(2);
+    }
 
     let started = std::time::Instant::now();
     for id in &ids {

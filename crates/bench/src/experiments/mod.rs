@@ -36,7 +36,11 @@ const SEED: u64 = 42;
 pub fn run_table1() -> Vec<ExperimentOutput> {
     let scale = scale_from_env();
     let mut rows = Vec::new();
-    for kind in [DatasetKind::Twitter, DatasetKind::NycTaxi, DatasetKind::Tpch] {
+    for kind in [
+        DatasetKind::Twitter,
+        DatasetKind::NycTaxi,
+        DatasetKind::Tpch,
+    ] {
         let ds = kind.build(scale, SEED);
         let schema = ds.db.schema(&ds.table).expect("schema");
         let filtering: Vec<String> = ds
@@ -75,7 +79,11 @@ pub fn run_table2() -> Vec<ExperimentOutput> {
     let scale = scale_from_env();
     let n = queries_from_env();
     let mut rows = Vec::new();
-    for kind in [DatasetKind::Twitter, DatasetKind::NycTaxi, DatasetKind::Tpch] {
+    for kind in [
+        DatasetKind::Twitter,
+        DatasetKind::NycTaxi,
+        DatasetKind::Tpch,
+    ] {
         let tau = kind.default_tau_ms();
         let sc = scenario(kind, scale, tau, &QueryGenConfig::default(), n, SEED);
         let hist = viable_plan_histogram(sc.db(), &sc.split.eval, tau).expect("histogram");
@@ -119,8 +127,14 @@ pub fn run_table3() -> Vec<ExperimentOutput> {
     let n = queries_from_env();
     let mut outputs = Vec::new();
     for (attrs, edges) in [
-        (4usize, vec![(0, 0), (1, 2), (3, 4), (5, 6), (7, 8), (9, 16)]),
-        (5usize, vec![(0, 0), (1, 4), (5, 8), (9, 12), (13, 16), (17, 32)]),
+        (
+            4usize,
+            vec![(0, 0), (1, 2), (3, 4), (5, 6), (7, 8), (9, 16)],
+        ),
+        (
+            5usize,
+            vec![(0, 0), (1, 4), (5, 8), (9, 12), (13, 16), (17, 32)],
+        ),
     ] {
         let sc = scenario(
             DatasetKind::Twitter,
@@ -356,13 +370,8 @@ pub fn run_fig19a() -> Vec<ExperimentOutput> {
         Box::new(|_q: &Query| RewriteSpace::index_hints(3)),
         &config,
     );
-    let mdp_accurate = train_mdp_rewriter(
-        &sc,
-        accurate,
-        "MDP (Accurate-QTE)",
-        space_builder,
-        &config,
-    );
+    let mdp_accurate =
+        train_mdp_rewriter(&sc, accurate, "MDP (Accurate-QTE)", space_builder, &config);
     let rewriters: Vec<Box<dyn QueryRewriter>> = vec![
         Box::new(BaselineRewriter::new()),
         Box::new(mdp_approx),
@@ -394,11 +403,8 @@ pub fn run_fig19b() -> Vec<ExperimentOutput> {
         dim_rows: scale_from_env().dim_rows,
     };
     let tau = 250.0;
-    let dataset = maliva_workload::twitter::build_twitter_with_config(
-        scale,
-        SEED,
-        DbConfig::commercial(),
-    );
+    let dataset =
+        maliva_workload::twitter::build_twitter_with_config(scale, SEED, DbConfig::commercial());
     let queries = generate_queries(&dataset, n, &QueryGenConfig::default(), SEED ^ 0xBEEF);
     let split = split_workload(&queries, SEED);
     let sc = Scenario {
@@ -534,7 +540,11 @@ pub fn run_fig20() -> Vec<ExperimentOutput> {
                         .run(q, &RewriteOption::original())
                         .expect("exact run")
                         .result;
-                    let approx = sc.db().run(q, &decision.rewrite).expect("approx run").result;
+                    let approx = sc
+                        .db()
+                        .run(q, &decision.rewrite)
+                        .expect("approx run")
+                        .result;
                     jaccard_quality(&exact, &approx)
                 };
                 total_quality += quality;
@@ -704,7 +714,10 @@ pub fn run_experiment(id: &str) -> Vec<ExperimentOutput> {
 pub fn experiment_descriptions() -> BTreeMap<&'static str, &'static str> {
     BTreeMap::from([
         ("table1", "Dataset inventory"),
-        ("table2", "Evaluation-workload difficulty histogram (8 options)"),
+        (
+            "table2",
+            "Evaluation-workload difficulty histogram (8 options)",
+        ),
         ("table3", "Difficulty histograms for 16/32 rewrite options"),
         ("fig12", "VQP on Twitter / NYC Taxi / TPC-H"),
         ("fig13", "AQRT on Twitter / NYC Taxi / TPC-H"),
@@ -715,7 +728,10 @@ pub fn experiment_descriptions() -> BTreeMap<&'static str, &'static str> {
         ("fig18", "Join queries (VQP + AQRT)"),
         ("fig19a", "Unseen query shapes"),
         ("fig19b", "Commercial database profile"),
-        ("fig20", "Quality-aware rewriting (VQP, AQRT, Jaccard quality)"),
+        (
+            "fig20",
+            "Quality-aware rewriting (VQP, AQRT, Jaccard quality)",
+        ),
         ("fig21", "Learning curves and training time"),
     ])
 }

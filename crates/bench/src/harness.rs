@@ -12,8 +12,8 @@ use maliva::{
     RewriteSpace, WorkloadMetrics,
 };
 use maliva_baselines::{BaoConfig, BaoRewriter, BaselineRewriter, NaiveRewriter};
-use maliva_qte::{AccurateQte, ApproximateQte, QueryTimeEstimator};
 use maliva_qte::approximate::ApproximateQteConfig;
+use maliva_qte::{AccurateQte, ApproximateQte, QueryTimeEstimator};
 use maliva_workload::{
     build_nyctaxi, build_tpch, build_twitter, generate_queries, split_workload, Dataset,
     DatasetScale, QueryGenConfig, WorkloadSplit,
@@ -129,9 +129,7 @@ pub fn experiment_config(tau_ms: f64) -> MalivaConfig {
 
 /// Builds the QTEs for a scenario: the oracle Accurate-QTE and a trained
 /// sampling-based Approximate-QTE.
-pub fn build_qtes(
-    scenario: &Scenario,
-) -> (Arc<AccurateQte>, Arc<ApproximateQte>) {
+pub fn build_qtes(scenario: &Scenario) -> (Arc<AccurateQte>, Arc<ApproximateQte>) {
     let db = scenario.db().clone();
     let accurate = Arc::new(AccurateQte::new(db.clone()));
     let training: Vec<(Query, Vec<RewriteOption>)> = scenario
@@ -305,7 +303,10 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -326,7 +327,10 @@ pub fn save_json(output: &ExperimentOutput, extra: serde_json::Value) {
         "extra": extra,
     });
     let path = dir.join(format!("{}.json", output.id));
-    let _ = std::fs::write(path, serde_json::to_string_pretty(&payload).unwrap_or_default());
+    let _ = std::fs::write(
+        path,
+        serde_json::to_string_pretty(&payload).unwrap_or_default(),
+    );
 }
 
 /// Formats a float with one decimal.

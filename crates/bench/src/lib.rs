@@ -12,8 +12,8 @@
 //! workload size; the defaults are chosen so the full suite completes in minutes on a
 //! laptop while preserving the paper's qualitative results.
 
-pub mod harness;
 pub mod experiments;
+pub mod harness;
 
 pub use harness::{
     bucket_edges_small, evaluate_by_bucket, print_table, save_json, scenario, standard_rewriters,

@@ -62,9 +62,7 @@ impl QAgent {
         let q = self.q_values_of(state);
         *remaining
             .iter()
-            .max_by(|&&a, &&b| {
-                q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .max_by(|&&a, &&b| q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal))
             .expect("non-empty remaining set")
     }
 

@@ -26,20 +26,20 @@
 
 pub mod agent;
 pub mod config;
-#[cfg(test)]
-pub(crate) mod testutil;
-pub mod metrics;
 pub mod mdp;
+pub mod metrics;
 pub mod online;
 pub mod quality_aware;
 pub mod rewriter;
 pub mod space;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod train;
 
 pub use agent::QAgent;
 pub use config::MalivaConfig;
-pub use metrics::{evaluate_workload, QueryOutcome, WorkloadMetrics};
 pub use mdp::{MdpState, PlanningEnv, RewardSpec};
+pub use metrics::{evaluate_workload, QueryOutcome, WorkloadMetrics};
 pub use online::{plan_online, PlanningOutcome};
 pub use quality_aware::{QualityAwareMode, QualityAwareRewriter};
 pub use rewriter::{MalivaRewriter, QueryRewriter, RewriteDecision};

@@ -186,9 +186,9 @@ impl<'a> PlanningEnv<'a> {
         // Estimation costs of unexplored options shrink when they share selectivity
         // slots with what has just been collected (paper Fig. 7).
         for &i in &self.remaining {
-            self.state.costs_ms[i] = self
-                .qte
-                .estimation_cost(self.query, self.space.get(i), &self.ctx);
+            self.state.costs_ms[i] =
+                self.qte
+                    .estimation_cost(self.query, self.space.get(i), &self.ctx);
         }
 
         // Termination conditions (paper Algorithm 1 line 9 / Algorithm 2 lines 9-12).
@@ -285,8 +285,14 @@ mod tests {
         let (db, qte) = setup();
         let q = make_query(2);
         let space = RewriteSpace::hints_only(&q);
-        let mut env =
-            PlanningEnv::new(&db, &qte, &q, &space, 10_000.0, RewardSpec::efficiency_only());
+        let mut env = PlanningEnv::new(
+            &db,
+            &qte,
+            &q,
+            &space,
+            10_000.0,
+            RewardSpec::efficiency_only(),
+        );
         let out = env.step(3).unwrap();
         assert_eq!(out.action, 3);
         assert!(env.state().elapsed_ms > 0.0);
@@ -300,8 +306,7 @@ mod tests {
         let (db, qte) = setup();
         let q = make_query(0);
         let space = RewriteSpace::hints_only(&q);
-        let mut env =
-            PlanningEnv::new(&db, &qte, &q, &space, 1.0e7, RewardSpec::efficiency_only());
+        let mut env = PlanningEnv::new(&db, &qte, &q, &space, 1.0e7, RewardSpec::efficiency_only());
         let out = env.step(7).unwrap();
         assert!(matches!(out.terminal, Some(Decision::PredictedViable(7))));
         let outcome = env.final_outcome().unwrap();
@@ -337,8 +342,7 @@ mod tests {
         // that the agent can explore several options.
         let q = make_query(5);
         let space = RewriteSpace::hints_only(&q);
-        let mut env =
-            PlanningEnv::new(&db, &qte, &q, &space, 400.0, RewardSpec::efficiency_only());
+        let mut env = PlanningEnv::new(&db, &qte, &q, &space, 400.0, RewardSpec::efficiency_only());
         let mut last = None;
         for a in 0..space.len() {
             if env.is_done() {
@@ -359,8 +363,7 @@ mod tests {
         let (db, qte) = setup();
         let q = make_query(0);
         let space = RewriteSpace::hints_only(&q);
-        let mut env =
-            PlanningEnv::new(&db, &qte, &q, &space, 1.0e9, RewardSpec::efficiency_only());
+        let mut env = PlanningEnv::new(&db, &qte, &q, &space, 1.0e9, RewardSpec::efficiency_only());
         // Option 7 = all three indexes; estimating it collects all three selectivities.
         let before: f64 = env.state().costs_ms.iter().sum();
         let _ = env.step(7).unwrap();
@@ -376,8 +379,7 @@ mod tests {
         let (db, qte) = setup();
         let q = make_query(0);
         let space = RewriteSpace::hints_only(&q);
-        let mut env =
-            PlanningEnv::new(&db, &qte, &q, &space, 1.0e9, RewardSpec::efficiency_only());
+        let mut env = PlanningEnv::new(&db, &qte, &q, &space, 1.0e9, RewardSpec::efficiency_only());
         let _ = env.step(1).unwrap();
         // Either the episode already finished (then stepping panics with "finished") or
         // the action was consumed; normalise to the expected message by re-stepping 1.

@@ -1,7 +1,7 @@
 //! Online query rewriting with a trained agent (paper Algorithm 2).
 
 use maliva_qte::QueryTimeEstimator;
-use vizdb::error::Result;
+use vizdb::error::{Error, Result};
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
 use vizdb::Database;
@@ -56,11 +56,21 @@ pub fn plan_online_from(
     tau_ms: f64,
     initial_elapsed_ms: f64,
 ) -> Result<PlanningOutcome> {
-    assert_eq!(
-        agent.n_actions(),
-        space.len(),
-        "agent was trained for a different rewrite-space size"
-    );
+    // Both checks used to be panics; online planning serves live requests, so
+    // misconfiguration must surface as an error to the middleware instead of
+    // taking the serving thread down.
+    if space.is_empty() {
+        return Err(Error::InvalidQuery(
+            "rewrite space is empty: no rewrite option to plan over".into(),
+        ));
+    }
+    if agent.n_actions() != space.len() {
+        return Err(Error::Internal(format!(
+            "agent was trained for a different rewrite-space size ({} actions, space has {})",
+            agent.n_actions(),
+            space.len()
+        )));
+    }
     let mut env = PlanningEnv::with_initial_elapsed(
         db,
         qte,
@@ -77,7 +87,10 @@ pub fn plan_online_from(
         explored.push(action);
         env.step(action)?;
     }
-    let outcome = env.final_outcome().expect("episode finished").clone();
+    let outcome = env
+        .final_outcome()
+        .ok_or_else(|| Error::Internal("planning episode ended without an outcome".into()))?
+        .clone();
     Ok(PlanningOutcome {
         rewrite: outcome.rewrite,
         chosen_index: outcome.chosen,
@@ -147,13 +160,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "different rewrite-space size")]
-    fn mismatched_space_size_panics() {
+    fn mismatched_space_size_is_an_error() {
         let db = tiny_db();
         let qte = AccurateQte::new(db.clone());
         let agent = QAgent::new(4, 500.0, 0);
         let q = make_query(0);
         let space = RewriteSpace::hints_only(&q); // size 8
-        let _ = plan_online(&agent, &db, &qte, &q, &space, 500.0);
+        let err = plan_online(&agent, &db, &qte, &q, &space, 500.0).unwrap_err();
+        assert!(
+            err.to_string().contains("different rewrite-space size"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn empty_space_is_an_error_not_a_hang() {
+        let db = tiny_db();
+        let qte = AccurateQte::new(db.clone());
+        let agent = QAgent::new(4, 500.0, 0);
+        let q = make_query(0);
+        // `RewriteSpace::new` rejects empty spaces, but deserialization bypasses the
+        // constructor; planning must fail cleanly rather than panic or spin.
+        let space: RewriteSpace = serde_json::from_str(r#"{"options":[]}"#).unwrap();
+        let err = plan_online(&agent, &db, &qte, &q, &space, 500.0).unwrap_err();
+        assert!(
+            err.to_string().contains("rewrite space is empty"),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -81,8 +81,7 @@ impl QualityAwareRewriter {
         match mode {
             QualityAwareMode::OneStage => {
                 let rules_for_space = rules.clone();
-                let builder =
-                    move |q: &Query| RewriteSpace::with_approx_rules(q, &rules_for_space);
+                let builder = move |q: &Query| RewriteSpace::with_approx_rules(q, &rules_for_space);
                 let trained = train_agent(
                     &db,
                     qte.as_ref(),
@@ -161,10 +160,9 @@ impl QueryRewriter for QualityAwareRewriter {
     fn rewrite(&self, query: &Query) -> Result<RewriteDecision> {
         match self.mode {
             QualityAwareMode::OneStage => {
-                let agent = self
-                    .one_stage_agent
-                    .as_ref()
-                    .expect("one-stage agent present");
+                let agent = self.one_stage_agent.as_ref().ok_or_else(|| {
+                    vizdb::error::Error::Internal("one-stage rewriter has no trained agent".into())
+                })?;
                 let space = RewriteSpace::with_approx_rules(query, &self.rules);
                 let outcome = plan_online(
                     agent,
@@ -180,8 +178,12 @@ impl QueryRewriter for QualityAwareRewriter {
                 })
             }
             QualityAwareMode::TwoStage => {
-                let hint_agent = self.hint_agent.as_ref().expect("hint agent present");
-                let approx_agent = self.approx_agent.as_ref().expect("approx agent present");
+                let hint_agent = self.hint_agent.as_ref().ok_or_else(|| {
+                    vizdb::error::Error::Internal("two-stage rewriter has no hint agent".into())
+                })?;
+                let approx_agent = self.approx_agent.as_ref().ok_or_else(|| {
+                    vizdb::error::Error::Internal("two-stage rewriter has no approx agent".into())
+                })?;
                 let hint_space = RewriteSpace::hints_only(query);
                 let first = plan_online(
                     hint_agent,
@@ -258,8 +260,14 @@ fn train_quality_agent_with_elapsed(
             let eps = epsilon.value(episode);
             while !env.is_done() {
                 let remaining = env.remaining().to_vec();
+                // `choose` stays inside the epsilon branch so the seeded RNG stream
+                // matches the sibling loop in `train::train_agent` draw for draw.
                 let action = if rng.gen::<f64>() < eps {
-                    *remaining.choose(&mut rng).expect("non-empty remaining")
+                    *remaining.choose(&mut rng).ok_or_else(|| {
+                        vizdb::error::Error::Internal(
+                            "planning episode not done but no actions remain".into(),
+                        )
+                    })?
                 } else {
                     agent.best_action(env.state(), &remaining)
                 };

@@ -32,7 +32,10 @@ pub fn tiny_db_with_config(config: DbConfig) -> Arc<Database> {
             // 90% of tweets sit in a hot cluster around Los Angeles, the rest spread
             // across the country, so spatial uniformity estimates are badly wrong.
             let (lon, lat) = if i % 10 < 9 {
-                (-118.3 + (i % 23) as f64 * 0.01, 34.0 + (i % 17) as f64 * 0.01)
+                (
+                    -118.3 + (i % 23) as f64 * 0.01,
+                    34.0 + (i % 17) as f64 * 0.01,
+                )
             } else {
                 (-95.0 + (i % 40) as f64, 30.0 + (i % 15) as f64)
             };

@@ -19,7 +19,11 @@ pub fn mse(prediction: &[f64], target: &[f64]) -> f64 {
 
 /// Gradient of the MSE loss with respect to the prediction vector.
 pub fn mse_gradient(prediction: &[f64], target: &[f64]) -> Vec<f64> {
-    assert_eq!(prediction.len(), target.len(), "length mismatch in mse_gradient");
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "length mismatch in mse_gradient"
+    );
     let n = prediction.len().max(1) as f64;
     prediction
         .iter()

@@ -21,7 +21,10 @@ impl Mlp {
     /// # Panics
     /// Panics when fewer than two sizes are given.
     pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
         let layers = layer_sizes
             .windows(2)
             .enumerate()
@@ -166,7 +169,11 @@ impl Mlp {
     /// # Panics
     /// Panics when the architectures differ.
     pub fn copy_weights_from(&mut self, other: &Mlp) {
-        assert_eq!(self.layers.len(), other.layers.len(), "architecture mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "architecture mismatch"
+        );
         let mut other = other.clone();
         for (dst, src) in self.layers.iter_mut().zip(other.layers.iter_mut()) {
             let (src_params, _) = src.params_and_grads();
@@ -240,7 +247,11 @@ mod tests {
             net.train_step_masked(&input, 1, 2.0, &mut opt);
         }
         let after = net.forward(&input);
-        assert!((after[1] - 2.0).abs() < 0.1, "trained output {:.3}", after[1]);
+        assert!(
+            (after[1] - 2.0).abs() < 0.1,
+            "trained output {:.3}",
+            after[1]
+        );
         // The untouched outputs may drift through shared hidden layers but should stay
         // far from the trained target magnitude relative to their start.
         assert!((after[1] - before[1]).abs() > 0.5);

@@ -177,7 +177,11 @@ mod tests {
         let mut ctx = EstimationContext::new();
         // Estimate RQ with predicate 0 only; slot 0 becomes collected.
         let _ = qte
-            .estimate(&q, &RewriteOption::hinted(HintSet::with_mask(0b001)), &mut ctx)
+            .estimate(
+                &q,
+                &RewriteOption::hinted(HintSet::with_mask(0b001)),
+                &mut ctx,
+            )
             .unwrap();
         assert!(ctx.is_collected(0));
         let cost_after =
@@ -197,7 +201,11 @@ mod tests {
         let q = query();
         let mut ctx = EstimationContext::new();
         let _ = qte
-            .estimate(&q, &RewriteOption::hinted(HintSet::with_mask(0b001)), &mut ctx)
+            .estimate(
+                &q,
+                &RewriteOption::hinted(HintSet::with_mask(0b001)),
+                &mut ctx,
+            )
             .unwrap();
         // Keyword "covid" matches every 5th row.
         assert!((ctx.selectivity(0).unwrap() - 0.2).abs() < 1e-9);

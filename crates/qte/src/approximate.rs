@@ -117,7 +117,11 @@ impl ApproximateQte {
             }
             let sel = if slot < n {
                 self.db
-                    .sample_selectivity(&query.table, &query.predicates[slot], self.config.sample_pct)?
+                    .sample_selectivity(
+                        &query.table,
+                        &query.predicates[slot],
+                        self.config.sample_pct,
+                    )?
                     .0
             } else {
                 match &query.join {
@@ -246,7 +250,11 @@ mod tests {
                 row.set_geo("coordinates", lon + (i % 13) as f64 * 0.01, 34.0);
                 row.set_text(
                     "text",
-                    if i % 5 == 0 { &["covid", "x"] } else { &["news", "x"] },
+                    if i % 5 == 0 {
+                        &["covid", "x"]
+                    } else {
+                        &["news", "x"]
+                    },
                 );
             });
         }
@@ -265,8 +273,15 @@ mod tests {
 
     fn make_query(seed: i64) -> Query {
         Query::select("tweets")
-            .filter(Predicate::keyword(3, if seed % 2 == 0 { "covid" } else { "news" }))
-            .filter(Predicate::time_range(1, seed * 37 % 2000, seed * 37 % 2000 + 500 + seed * 13 % 1000))
+            .filter(Predicate::keyword(
+                3,
+                if seed % 2 == 0 { "covid" } else { "news" },
+            ))
+            .filter(Predicate::time_range(
+                1,
+                seed * 37 % 2000,
+                seed * 37 % 2000 + 500 + seed * 13 % 1000,
+            ))
             .filter(Predicate::spatial_range(
                 2,
                 GeoRect::new(-119.0, 33.0, -118.0 + (seed % 5) as f64 * 0.2, 35.0),
@@ -295,8 +310,8 @@ mod tests {
     fn fitted_model_tracks_true_times_on_postgres_profile() {
         let db = build_db(false);
         let training = training_set(&db, 12);
-        let qte = ApproximateQte::fit(db.clone(), ApproximateQteConfig::default(), &training)
-            .unwrap();
+        let qte =
+            ApproximateQte::fit(db.clone(), ApproximateQteConfig::default(), &training).unwrap();
 
         // Evaluate on fresh queries.
         let mut total_err = 0.0;
@@ -366,9 +381,7 @@ mod tests {
         let q = make_query(1);
         let ro = RewriteOption::hinted(HintSet::with_mask(0b111));
         let ctx = EstimationContext::new();
-        assert!(
-            qte_big.estimation_cost(&q, &ro, &ctx) > qte_small.estimation_cost(&q, &ro, &ctx)
-        );
+        assert!(qte_big.estimation_cost(&q, &ro, &ctx) > qte_small.estimation_cost(&q, &ro, &ctx));
     }
 
     #[test]
@@ -392,7 +405,11 @@ mod tests {
         let q = make_query(3);
         let mut ctx = EstimationContext::new();
         let report = qte
-            .estimate(&q, &RewriteOption::hinted(HintSet::with_mask(0b1)), &mut ctx)
+            .estimate(
+                &q,
+                &RewriteOption::hinted(HintSet::with_mask(0b1)),
+                &mut ctx,
+            )
             .unwrap();
         assert_eq!(report.estimated_ms, 0.0);
         assert!(report.cost_ms > 0.0);

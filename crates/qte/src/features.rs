@@ -101,7 +101,10 @@ mod tests {
         let ro = RewriteOption::hinted(HintSet::with_mask(0b001));
         let selective = plan_features(&q, &ro, &[0.001, 0.5, 0.5], 1.0, 100_000, 0);
         let unselective = plan_features(&q, &ro, &[0.5, 0.5, 0.5], 1.0, 100_000, 0);
-        assert!(unselective[5] > selective[5] * 10.0, "heap fetches should grow");
+        assert!(
+            unselective[5] > selective[5] * 10.0,
+            "heap fetches should grow"
+        );
     }
 
     #[test]

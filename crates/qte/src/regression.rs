@@ -130,9 +130,7 @@ mod tests {
     #[test]
     fn fits_exact_linear_relationship() {
         // y = 2 + 3*x0 - x1
-        let xs: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, (i % 5) as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 5) as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0] - x[1]).collect();
         let model = LinearModel::fit(&xs, &ys, 0.0);
         assert!((model.predict(&[10.0, 2.0]) - 30.0).abs() < 1e-6);

@@ -143,13 +143,17 @@ pub fn vas_coverage(exact: &QueryResult, approx: &QueryResult, cols: u32, rows: 
             }
             let extent = vizdb::types::GeoRect::new(min_lon, min_lat, max_lon, max_lat);
             let grid = BinGrid::new(extent, cols.max(1), rows.max(1));
-            let cells_exact: BTreeSet<u32> =
-                a.iter().filter_map(|(_, p)| grid.bin_of(p.lon, p.lat)).collect();
+            let cells_exact: BTreeSet<u32> = a
+                .iter()
+                .filter_map(|(_, p)| grid.bin_of(p.lon, p.lat))
+                .collect();
             if cells_exact.is_empty() {
                 return 1.0;
             }
-            let cells_approx: BTreeSet<u32> =
-                b.iter().filter_map(|(_, p)| grid.bin_of(p.lon, p.lat)).collect();
+            let cells_approx: BTreeSet<u32> = b
+                .iter()
+                .filter_map(|(_, p)| grid.bin_of(p.lon, p.lat))
+                .collect();
             cells_exact.intersection(&cells_approx).count() as f64 / cells_exact.len() as f64
         }
         _ => jaccard_quality(exact, approx),
@@ -284,8 +288,7 @@ mod tests {
         let bins_a = QueryResult::Bins(vec![(0, 4), (1, 4)]);
         let bins_b = QueryResult::Bins(vec![(0, 2), (1, 2)]);
         assert!(
-            (QualityFunction::DistributionPrecision.evaluate(&bins_a, &bins_b) - 1.0).abs()
-                < 1e-12
+            (QualityFunction::DistributionPrecision.evaluate(&bins_a, &bins_b) - 1.0).abs() < 1e-12
         );
     }
 
@@ -293,7 +296,10 @@ mod tests {
     fn qualities_are_bounded() {
         let cases = [
             (points(&[1, 2, 3]), points(&[4, 5])),
-            (QueryResult::Bins(vec![(0, 7)]), QueryResult::Bins(vec![(3, 2)])),
+            (
+                QueryResult::Bins(vec![(0, 7)]),
+                QueryResult::Bins(vec![(3, 2)]),
+            ),
             (QueryResult::Count(10), QueryResult::Count(3)),
         ];
         for (a, b) in &cases {

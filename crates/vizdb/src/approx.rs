@@ -85,8 +85,14 @@ mod tests {
 
     #[test]
     fn kept_fraction_for_samples() {
-        assert_eq!(ApproxRule::SampleTable { fraction_pct: 20 }.kept_fraction(), 0.2);
-        assert_eq!(ApproxRule::TableSample { fraction_pct: 80 }.kept_fraction(), 0.8);
+        assert_eq!(
+            ApproxRule::SampleTable { fraction_pct: 20 }.kept_fraction(),
+            0.2
+        );
+        assert_eq!(
+            ApproxRule::TableSample { fraction_pct: 80 }.kept_fraction(),
+            0.8
+        );
     }
 
     #[test]
@@ -123,6 +129,9 @@ mod tests {
 
     #[test]
     fn kept_fraction_clamped_to_one() {
-        assert_eq!(ApproxRule::LimitPermille { permille: 5000 }.kept_fraction(), 1.0);
+        assert_eq!(
+            ApproxRule::LimitPermille { permille: 5000 }.kept_fraction(),
+            1.0
+        );
     }
 }

@@ -189,30 +189,36 @@ impl Database {
         match col_type {
             ColumnType::Timestamp => {
                 let entries: Vec<(i64, RecordId)> = (0..entry.table.row_count() as RecordId)
-                    .map(|rid| (entry.table.timestamp(col_idx, rid).unwrap(), rid))
-                    .collect();
+                    .map(|rid| Ok((entry.table.timestamp(col_idx, rid)?, rid)))
+                    .collect::<Result<_>>()?;
                 entry.btree.insert(col_idx, BPlusTree::build(entries));
             }
             ColumnType::Int | ColumnType::Float => {
                 let entries: Vec<(i64, RecordId)> = (0..entry.table.row_count() as RecordId)
                     .map(|rid| {
-                        let v = entry.table.numeric(col_idx, rid).unwrap();
-                        (BPlusTree::float_key(v), rid)
+                        let v = entry.table.numeric(col_idx, rid)?;
+                        Ok((BPlusTree::float_key(v), rid))
                     })
-                    .collect();
+                    .collect::<Result<_>>()?;
                 entry.btree.insert(col_idx, BPlusTree::build(entries));
             }
             ColumnType::Geo => {
-                let entries: Vec<(crate::types::GeoPoint, RecordId)> =
-                    (0..entry.table.row_count() as RecordId)
-                        .map(|rid| (entry.table.geo(col_idx, rid).unwrap(), rid))
-                        .collect();
+                let entries: Vec<(crate::types::GeoPoint, RecordId)> = (0..entry.table.row_count()
+                    as RecordId)
+                    .map(|rid| Ok((entry.table.geo(col_idx, rid)?, rid)))
+                    .collect::<Result<_>>()?;
                 entry.rtree.insert(col_idx, RTree::build(entries));
             }
             ColumnType::Text => {
                 let docs: Vec<Vec<u32>> = match entry.table.column(col_idx)? {
                     ColumnData::Text(docs) => docs.clone(),
-                    _ => unreachable!("schema/type mismatch"),
+                    other => {
+                        return Err(Error::TypeMismatch {
+                            column: column.to_string(),
+                            expected: "text",
+                            actual: other.column_type().name(),
+                        })
+                    }
                 };
                 entry.inverted.insert(col_idx, InvertedIndex::build(&docs));
             }
@@ -415,7 +421,12 @@ impl Database {
         Ok(outcome.time_ms)
     }
 
-    fn run_inner(&self, query: &Query, ro: &RewriteOption, materialize: bool) -> Result<RunOutcome> {
+    fn run_inner(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        materialize: bool,
+    ) -> Result<RunOutcome> {
         let fact = self.entry(&query.table)?;
         let dim = self.dim_entry(query)?;
         let plan = self.plan(query, ro)?;
@@ -423,9 +434,9 @@ impl Database {
         // Size the LIMIT approximation from the engine's estimated cardinality, as in
         // the paper ("a LIMIT clause with x% of the estimated cardinality").
         let limit_rows = match ro.approx {
-            Some(ApproxRule::LimitPermille { .. }) => {
+            Some(rule @ ApproxRule::LimitPermille { .. }) => {
                 let est = self.estimated_cardinality(query)?;
-                let kept = ro.approx.unwrap().kept_fraction();
+                let kept = rule.kept_fraction();
                 Some(((est * kept).ceil() as usize).max(1))
             }
             _ => query.limit,
@@ -443,7 +454,8 @@ impl Database {
 
         let base_ms = execution_time_ms(&outcome.work, &self.config.cost_params);
         let fp = query_fingerprint(query) ^ plan.signature() ^ self.config.seed;
-        let time_ms = apply_profile_noise(base_ms, self.config.profile, &self.config.cost_params, fp);
+        let time_ms =
+            apply_profile_noise(base_ms, self.config.profile, &self.config.cost_params, fp);
 
         let key = (query_fingerprint(query), rewrite_fingerprint(ro));
         self.time_cache.lock().insert(key, time_ms);
@@ -510,7 +522,11 @@ mod tests {
             b.push_row(|row| {
                 row.set_int("id", i);
                 row.set_timestamp("created_at", i * 60);
-                let lon = if i % 10 < 9 { -118.0 + (i % 7) as f64 * 0.1 } else { -75.0 };
+                let lon = if i % 10 < 9 {
+                    -118.0 + (i % 7) as f64 * 0.1
+                } else {
+                    -75.0
+                };
                 row.set_geo("coordinates", lon, 34.0 + (i % 5) as f64 * 0.1);
                 let unique = format!("u{i}");
                 let words: Vec<&str> = if i % 4 == 0 {
@@ -575,8 +591,14 @@ mod tests {
         let pred = Predicate::spatial_range(2, rect);
         let truth = db.true_selectivity("tweets", &pred).unwrap();
         let est = db.estimated_selectivity("tweets", &pred).unwrap();
-        assert!(truth > 0.5, "hot cluster should contain most rows, got {truth}");
-        assert!(est < truth / 2.0, "uniformity estimate {est} should undershoot {truth}");
+        assert!(
+            truth > 0.5,
+            "hot cluster should contain most rows, got {truth}"
+        );
+        assert!(
+            est < truth / 2.0,
+            "uniformity estimate {est} should undershoot {truth}"
+        );
     }
 
     #[test]
@@ -643,7 +665,10 @@ mod tests {
                 ),
             )
             .unwrap();
-        assert!(sampled < exact, "sampled {sampled} should beat exact {exact}");
+        assert!(
+            sampled < exact,
+            "sampled {sampled} should beat exact {exact}"
+        );
     }
 
     #[test]

@@ -46,6 +46,9 @@ pub enum Error {
     InvalidQuery(String),
     /// A rewrite option is incompatible with the query it is applied to.
     InvalidRewrite(String),
+    /// An internal invariant was violated (a bug in the caller or in this crate);
+    /// returned instead of panicking on the online planning hot path.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -73,6 +76,7 @@ impl fmt::Display for Error {
             } => write!(f, "no {fraction_pct}% sample of table {table}"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::InvalidRewrite(msg) => write!(f, "invalid rewrite option: {msg}"),
+            Error::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

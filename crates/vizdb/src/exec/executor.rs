@@ -67,7 +67,13 @@ pub fn execute(
     let candidates = if plan.index_preds.is_empty() {
         None // sequential scan handled in phase 2
     } else {
-        Some(index_candidates(query, plan, fact, &restriction, &mut work)?)
+        Some(index_candidates(
+            query,
+            plan,
+            fact,
+            &restriction,
+            &mut work,
+        )?)
     };
 
     // Phase 2: qualify rows (residual predicates), honouring the LIMIT cap.
@@ -258,10 +264,13 @@ fn scan_index(
     let attr = pred.attr();
     match pred {
         Predicate::KeywordContains { keyword, .. } => {
-            let index = fact.inverted.get(&attr).ok_or_else(|| Error::IndexMissing {
-                table: fact.table.name().to_string(),
-                column: column_name(fact.table, attr),
-            })?;
+            let index = fact
+                .inverted
+                .get(&attr)
+                .ok_or_else(|| Error::IndexMissing {
+                    table: fact.table.name().to_string(),
+                    column: column_name(fact.table, attr),
+                })?;
             match fact.table.dictionary().lookup(keyword) {
                 Some(token) => {
                     let (rids, stats) = index.lookup(token);
@@ -334,12 +343,10 @@ fn eval_preds(
 /// Evaluates one predicate against one row.
 pub(crate) fn eval_predicate(pred: &Predicate, table: &Table, rid: RecordId) -> Result<bool> {
     match pred {
-        Predicate::KeywordContains { attr, keyword } => {
-            match table.dictionary().lookup(keyword) {
-                Some(token) => table.text_contains(*attr, rid, token),
-                None => Ok(false),
-            }
-        }
+        Predicate::KeywordContains { attr, keyword } => match table.dictionary().lookup(keyword) {
+            Some(token) => table.text_contains(*attr, rid, token),
+            None => Ok(false),
+        },
         Predicate::TimeRange { attr, range } => Ok(range.contains(table.timestamp(*attr, rid)?)),
         Predicate::NumericRange { attr, range } => Ok(range.contains(table.numeric(*attr, rid)?)),
         Predicate::SpatialRange { attr, rect } => Ok(rect.contains(&table.geo(*attr, rid)?)),
@@ -522,7 +529,14 @@ mod tests {
                 row.set_int("id", i);
                 row.set_timestamp("created_at", i);
                 row.set_geo("coordinates", -120.0 + (i as f64) * 0.01, 35.0);
-                row.set_text("text", if i % 4 == 0 { &["covid", "news"] } else { &["news"] });
+                row.set_text(
+                    "text",
+                    if i % 4 == 0 {
+                        &["covid", "news"]
+                    } else {
+                        &["news"]
+                    },
+                );
                 row.set_int("user_id", i % 50);
             });
         }
@@ -697,7 +711,13 @@ mod tests {
         let mut plan = plan_with(&f, &q, 0b111);
         plan.approx = Some(ApproxRule::SampleTable { fraction_pct: 40 });
         let err = execute(&q, &plan, &f.exec_table(), None, None, true).unwrap_err();
-        assert!(matches!(err, Error::SampleMissing { fraction_pct: 40, .. }));
+        assert!(matches!(
+            err,
+            Error::SampleMissing {
+                fraction_pct: 40,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -3,6 +3,6 @@
 mod executor;
 mod result;
 
-pub use executor::{execute, ExecOutcome, ExecTable};
 pub(crate) use executor::eval_predicate as executor_eval;
+pub use executor::{execute, ExecOutcome, ExecTable};
 pub use result::QueryResult;

@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn points_accessors() {
-        let r = QueryResult::Points(vec![(1, GeoPoint::new(0.0, 0.0)), (5, GeoPoint::new(1.0, 1.0))]);
+        let r = QueryResult::Points(vec![
+            (1, GeoPoint::new(0.0, 0.0)),
+            (5, GeoPoint::new(1.0, 1.0)),
+        ]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
         assert_eq!(r.point_ids(), Some(vec![1, 5]));

@@ -166,9 +166,7 @@ pub fn rewrite_fingerprint(ro: &RewriteOption) -> u64 {
         Some(ApproxRule::TableSample { fraction_pct }) => {
             fp.write_u64(2).write_u64(*fraction_pct as u64)
         }
-        Some(ApproxRule::LimitPermille { permille }) => {
-            fp.write_u64(3).write_u64(*permille as u64)
-        }
+        Some(ApproxRule::LimitPermille { permille }) => fp.write_u64(3).write_u64(*permille as u64),
     };
     fp.finish()
 }

@@ -14,26 +14,13 @@ use crate::index::{ScanStats, SecondaryIndex};
 use crate::types::{RecordId, TokenId};
 
 /// A compressed posting list: record ids delta-encoded with LEB128 varints.
+///
+/// The vendored `bytes` crate serializes [`Bytes`] as a plain byte array, so no
+/// `serde(with = ...)` shim is needed here.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PostingList {
-    #[serde(with = "serde_bytes_compat")]
     encoded: Bytes,
     len: usize,
-}
-
-mod serde_bytes_compat {
-    //! Serializes [`bytes::Bytes`] as a plain byte vector.
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl PostingList {
@@ -175,10 +162,7 @@ impl SecondaryIndex for InvertedIndex {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.postings
-            .values()
-            .map(|p| p.encoded_bytes() + 16)
-            .sum()
+        self.postings.values().map(|p| p.encoded_bytes() + 16).sum()
     }
 }
 
@@ -223,13 +207,7 @@ mod tests {
 
     #[test]
     fn index_lookup_and_count() {
-        let docs = vec![
-            vec![1u32, 2, 3],
-            vec![2, 3],
-            vec![3],
-            vec![],
-            vec![1, 3],
-        ];
+        let docs = vec![vec![1u32, 2, 3], vec![2, 3], vec![3], vec![], vec![1, 3]];
         let idx = InvertedIndex::build(&docs);
         assert_eq!(idx.len(), 5);
         assert_eq!(idx.token_count(), 3);

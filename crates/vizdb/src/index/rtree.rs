@@ -60,7 +60,11 @@ impl RTree {
         let leaf_count = n.div_ceil(NODE_CAPACITY);
         let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
         let per_strip = n.div_ceil(strip_count.max(1));
-        entries.sort_by(|a, b| a.0.lon.partial_cmp(&b.0.lon).unwrap_or(std::cmp::Ordering::Equal));
+        entries.sort_by(|a, b| {
+            a.0.lon
+                .partial_cmp(&b.0.lon)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let mut leaves = Vec::with_capacity(leaf_count);
         for strip in entries.chunks_mut(per_strip.max(1)) {
@@ -240,7 +244,10 @@ mod tests {
         let t = RTree::build(vec![]);
         assert_eq!(t.len(), 0);
         assert_eq!(t.range_count(&GeoRect::new(-1.0, -1.0, 1.0, 1.0)), 0);
-        assert!(t.range_scan(&GeoRect::new(-1.0, -1.0, 1.0, 1.0)).0.is_empty());
+        assert!(t
+            .range_scan(&GeoRect::new(-1.0, -1.0, 1.0, 1.0))
+            .0
+            .is_empty());
         assert!(t.bounds().is_empty());
     }
 

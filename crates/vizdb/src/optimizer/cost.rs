@@ -44,16 +44,23 @@ pub fn predict_work(shape: &PlanShape<'_>) -> WorkProfile {
     // Approximation scaling: sample rules shrink the effective fact table; LIMIT rules
     // let the engine stop early, scaling the candidate-processing work instead.
     let (table_fraction, limit_fraction) = match shape.approx {
-        Some(ApproxRule::SampleTable { .. }) | Some(ApproxRule::TableSample { .. }) => {
-            (shape.approx.unwrap().kept_fraction(), 1.0)
+        Some(rule @ (ApproxRule::SampleTable { .. } | ApproxRule::TableSample { .. })) => {
+            (rule.kept_fraction(), 1.0)
         }
-        Some(ApproxRule::LimitPermille { .. }) => (1.0, shape.approx.unwrap().kept_fraction()),
+        Some(rule @ ApproxRule::LimitPermille { .. }) => (1.0, rule.kept_fraction()),
         None => (1.0, 1.0),
     };
     let eff_rows = n * table_fraction;
 
     // Selectivity products.
-    let sel = |i: usize| shape.selectivities.get(i).copied().unwrap_or(1.0).clamp(0.0, 1.0);
+    let sel = |i: usize| {
+        shape
+            .selectivities
+            .get(i)
+            .copied()
+            .unwrap_or(1.0)
+            .clamp(0.0, 1.0)
+    };
     let index_product: f64 = shape.index_preds.iter().map(|&i| sel(i)).product();
     let all_product: f64 = (0..shape.query.predicate_count()).map(sel).product();
     let result_rows = eff_rows * all_product;
@@ -61,7 +68,8 @@ pub fn predict_work(shape: &PlanShape<'_>) -> WorkProfile {
     if shape.index_preds.is_empty() {
         // Sequential scan over the (possibly sampled) table; LIMIT allows stopping once
         // enough output has been produced.
-        let scan_rows = eff_rows * limit_fraction.max(result_min_fraction(result_rows, limit_fraction));
+        let scan_rows =
+            eff_rows * limit_fraction.max(result_min_fraction(result_rows, limit_fraction));
         work.seq_rows = scan_rows as u64;
         work.filter_evals = (scan_rows * shape.query.predicate_count() as f64) as u64;
     } else {
@@ -75,7 +83,9 @@ pub fn predict_work(shape: &PlanShape<'_>) -> WorkProfile {
         if shape.index_preds.len() > 1 {
             work.intersect_entries = total_entries as u64;
         }
-        let candidates = eff_rows * index_product * limit_fraction.max(result_min_fraction(result_rows, limit_fraction));
+        let candidates = eff_rows
+            * index_product
+            * limit_fraction.max(result_min_fraction(result_rows, limit_fraction));
         work.heap_fetches = candidates as u64;
         work.filter_evals = (candidates * shape.filter_preds.len() as f64) as u64;
     }
@@ -84,7 +94,10 @@ pub fn predict_work(shape: &PlanShape<'_>) -> WorkProfile {
 
     // Join handling: each fact row carrying a foreign key matches exactly one dimension
     // row; dimension predicates keep a `right_selectivity` fraction of them.
-    if let (true, Some(method)) = (shape.query.is_join(), shape.join_method.or(Some(JoinMethod::Hash))) {
+    if let (true, Some(method)) = (
+        shape.query.is_join(),
+        shape.join_method.or(Some(JoinMethod::Hash)),
+    ) {
         let left_rows = output_rows;
         let right_rows = shape.right_row_count as f64;
         let right_pred_count = shape
@@ -211,8 +224,14 @@ mod tests {
         let params = CostParams::default();
         let kw = execution_time_ms(&predict_work(&shape(&q, &[0], &[1, 2], &sels)), &params);
         let ts = execution_time_ms(&predict_work(&shape(&q, &[1], &[0, 2], &sels)), &params);
-        assert!(kw > 5.0 * ts, "keyword plan {kw} should be far slower than time plan {ts}");
-        assert!(kw > 500.0, "non-selective index plan should blow the budget, got {kw}");
+        assert!(
+            kw > 5.0 * ts,
+            "keyword plan {kw} should be far slower than time plan {ts}"
+        );
+        assert!(
+            kw > 500.0,
+            "non-selective index plan should blow the budget, got {kw}"
+        );
     }
 
     #[test]

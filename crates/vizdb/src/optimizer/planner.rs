@@ -281,7 +281,14 @@ mod tests {
         let indexed: HashSet<usize> = [0usize, 1, 2].into_iter().collect();
         let m = meta(&table, &stats, &indexed);
         let planner = Planner::new(CostParams::default(), 0.0, 7);
-        let plan = planner.plan(&base_query(), &HintSet::with_mask(0b100), None, &m, None, 99);
+        let plan = planner.plan(
+            &base_query(),
+            &HintSet::with_mask(0b100),
+            None,
+            &m,
+            None,
+            99,
+        );
         assert!(!plan.hinted, "with adherence 0 the hint must be ignored");
     }
 
@@ -324,6 +331,9 @@ mod tests {
             None,
             5,
         );
-        assert_eq!(plan.approx, Some(ApproxRule::SampleTable { fraction_pct: 20 }));
+        assert_eq!(
+            plan.approx,
+            Some(ApproxRule::SampleTable { fraction_pct: 20 })
+        );
     }
 }

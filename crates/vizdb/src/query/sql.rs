@@ -112,7 +112,10 @@ pub fn render_sql(
     if let Some(limit) = query.limit {
         sql.push_str(&format!(" LIMIT {limit}\n"));
     } else if let Some(ApproxRule::LimitPermille { permille }) = rewrite.approx {
-        sql.push_str(&format!(" LIMIT {:.3}%% OF ESTIMATED CARDINALITY\n", permille as f64 / 10.0));
+        sql.push_str(&format!(
+            " LIMIT {:.3}%% OF ESTIMATED CARDINALITY\n",
+            permille as f64 / 10.0
+        ));
     }
 
     sql.push(';');
@@ -128,7 +131,10 @@ fn column_name(schema: Option<&TableSchema>, attr: usize) -> String {
 fn render_predicate(pred: &Predicate, alias: &str, schema: Option<&TableSchema>) -> String {
     match pred {
         Predicate::KeywordContains { attr, keyword } => {
-            format!("{alias}.{} contains \"{keyword}\"", column_name(schema, *attr))
+            format!(
+                "{alias}.{} contains \"{keyword}\"",
+                column_name(schema, *attr)
+            )
         }
         Predicate::TimeRange { attr, range } => format!(
             "{alias}.{} BETWEEN {} AND {}",
@@ -186,7 +192,12 @@ mod tests {
 
     #[test]
     fn original_query_has_no_hint_comment() {
-        let sql = render_sql(&sample_query(), &RewriteOption::original(), Some(&tweets_schema()), None);
+        let sql = render_sql(
+            &sample_query(),
+            &RewriteOption::original(),
+            Some(&tweets_schema()),
+            None,
+        );
         assert!(!sql.contains("/*+"));
         assert!(sql.contains("SELECT BIN_ID(t.coordinates), COUNT(*)"));
         assert!(sql.contains("covid"));
@@ -215,7 +226,8 @@ mod tests {
 
     #[test]
     fn limit_rule_renders_limit_clause() {
-        let ro = RewriteOption::approximate(HintSet::none(), ApproxRule::LimitPermille { permille: 40 });
+        let ro =
+            RewriteOption::approximate(HintSet::none(), ApproxRule::LimitPermille { permille: 40 });
         let sql = render_sql(&sample_query(), &ro, Some(&tweets_schema()), None);
         assert!(sql.contains("LIMIT 4.000"));
     }
@@ -247,7 +259,10 @@ mod tests {
 
     #[test]
     fn tablesample_renders_operator() {
-        let ro = RewriteOption::approximate(HintSet::none(), ApproxRule::TableSample { fraction_pct: 10 });
+        let ro = RewriteOption::approximate(
+            HintSet::none(),
+            ApproxRule::TableSample { fraction_pct: 10 },
+        );
         let sql = render_sql(&sample_query(), &ro, Some(&tweets_schema()), None);
         assert!(sql.contains("TABLESAMPLE SYSTEM (10)"));
     }

@@ -287,7 +287,10 @@ mod tests {
         // assumption estimates roughly the area fraction, which is far smaller.
         let rect = GeoRect::new(-101.0, 29.0, -94.0, 36.0);
         let estimate = geo.range_selectivity(&rect);
-        assert!(estimate < 0.5, "uniformity estimate should be small, got {estimate}");
+        assert!(
+            estimate < 0.5,
+            "uniformity estimate should be small, got {estimate}"
+        );
     }
 
     #[test]
@@ -299,7 +302,10 @@ mod tests {
         };
         let common = table.dictionary().lookup("common");
         let sel = text.keyword_selectivity(common);
-        assert!((sel - 0.99).abs() < 0.02, "common token should be accurate, got {sel}");
+        assert!(
+            (sel - 0.99).abs() < 0.02,
+            "common token should be accurate, got {sel}"
+        );
     }
 
     #[test]

@@ -247,7 +247,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Starts building a table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
-        let columns = schema.columns.iter().map(|c| ColumnData::new(c.ty)).collect();
+        let columns = schema
+            .columns
+            .iter()
+            .map(|c| ColumnData::new(c.ty))
+            .collect();
         Self {
             schema,
             columns,
@@ -321,7 +325,10 @@ mod tests {
                 row.set_int("id", i);
                 row.set_timestamp("created_at", 1_600_000_000 + i * 3600);
                 row.set_geo("coordinates", -120.0 + i as f64, 35.0 + i as f64 * 0.5);
-                row.set_text("text", &["covid", if i % 2 == 0 { "vaccine" } else { "mask" }]);
+                row.set_text(
+                    "text",
+                    &["covid", if i % 2 == 0 { "vaccine" } else { "mask" }],
+                );
                 row.set_float("followers", i as f64 * 10.0);
             });
         }

@@ -242,7 +242,10 @@ mod tests {
         let t_full = execution_time_ms(&full, &p);
         let t_idx = execution_time_ms(&indexed, &p);
         assert!(t_full > 4_000.0, "full scan should exceed 4s, got {t_full}");
-        assert!(t_idx < 100.0, "selective index scan should be fast, got {t_idx}");
+        assert!(
+            t_idx < 100.0,
+            "selective index scan should be fast, got {t_idx}"
+        );
     }
 
     #[test]
@@ -266,7 +269,10 @@ mod tests {
     #[test]
     fn postgres_profile_applies_no_noise() {
         let p = CostParams::default();
-        assert_eq!(apply_profile_noise(100.0, DbProfile::Postgres, &p, 42), 100.0);
+        assert_eq!(
+            apply_profile_noise(100.0, DbProfile::Postgres, &p, 42),
+            100.0
+        );
     }
 
     #[test]

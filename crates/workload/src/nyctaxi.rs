@@ -172,10 +172,8 @@ mod tests {
     #[test]
     fn manhattan_is_dense() {
         let ds = build_nyctaxi(DatasetScale::tiny(), 4);
-        let manhattan = vizdb::query::Predicate::spatial_range(
-            3,
-            GeoRect::new(-74.03, 40.70, -73.93, 40.82),
-        );
+        let manhattan =
+            vizdb::query::Predicate::spatial_range(3, GeoRect::new(-74.03, 40.70, -73.93, 40.82));
         let sel = ds.db.true_selectivity("trips", &manhattan).unwrap();
         let est = ds.db.estimated_selectivity("trips", &manhattan).unwrap();
         assert!(sel > 0.4, "Manhattan should hold most pickups, got {sel}");

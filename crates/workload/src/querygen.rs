@@ -293,7 +293,10 @@ mod tests {
         }
         let max = sels.iter().copied().fold(0.0f64, f64::max);
         let min = sels.iter().copied().fold(1.0f64, f64::min);
-        assert!(max > min * 10.0 || min == 0.0, "selectivities should vary: {min}..{max}");
+        assert!(
+            max > min * 10.0 || min == 0.0,
+            "selectivities should vary: {min}..{max}"
+        );
     }
 
     #[test]

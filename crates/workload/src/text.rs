@@ -113,11 +113,16 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut counts: HashMap<String, usize> = HashMap::new();
         for _ in 0..20_000 {
-            *counts.entry(c.sample_word(&mut rng).to_string()).or_insert(0) += 1;
+            *counts
+                .entry(c.sample_word(&mut rng).to_string())
+                .or_insert(0) += 1;
         }
         let top = counts.get("word0").copied().unwrap_or(0);
         let mid = counts.get("word100").copied().unwrap_or(0);
-        assert!(top > 10 * mid.max(1), "word0 {top} should dominate word100 {mid}");
+        assert!(
+            top > 10 * mid.max(1),
+            "word0 {top} should dominate word100 {mid}"
+        );
     }
 
     #[test]

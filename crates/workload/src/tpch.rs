@@ -58,7 +58,7 @@ pub fn build_tpch_with_config(scale: DatasetScale, seed: u64, mut config: DbConf
         let discount = (rng.gen_range(0.0f64..=0.10) * 100.0).round() / 100.0;
         let ship_date = rng.gen_range(TIME_START..TIME_END);
         // Receipt follows shipping by 1–30 days (correlated attributes).
-        let receipt_date = ship_date + rng.gen_range(1..=30) * 86_400;
+        let receipt_date = ship_date + rng.gen_range(1i64..=30) * 86_400;
 
         if (i as usize) % seed_every == 0 && seeds.len() < 1_500 {
             seeds.push(SeedRecord {
@@ -148,7 +148,10 @@ mod tests {
         );
         let truth = ds.db.true_selectivity("lineitem", &pred).unwrap();
         let est = ds.db.estimated_selectivity("lineitem", &pred).unwrap();
-        assert!((truth - est).abs() < 0.05, "truth {truth} vs estimate {est}");
+        assert!(
+            (truth - est).abs() < 0.05,
+            "truth {truth} vs estimate {est}"
+        );
     }
 
     #[test]

@@ -26,17 +26,17 @@ const TIME_END: i64 = 1_485_820_800;
 
 /// Metropolitan clusters (lon, lat, weight) that hold ~95% of the tweets.
 const CITIES: &[(f64, f64, f64)] = &[
-    (-118.24, 34.05, 0.16),  // Los Angeles
-    (-73.99, 40.73, 0.20),   // New York
-    (-87.63, 41.88, 0.10),   // Chicago
-    (-95.37, 29.76, 0.08),   // Houston
-    (-122.42, 37.77, 0.09),  // San Francisco
-    (-80.19, 25.76, 0.07),   // Miami
-    (-104.99, 39.74, 0.05),  // Denver
-    (-122.33, 47.61, 0.06),  // Seattle
-    (-84.39, 33.75, 0.05),   // Atlanta
-    (-112.07, 33.45, 0.04),  // Phoenix
-    (-77.04, 38.91, 0.05),   // Washington DC
+    (-118.24, 34.05, 0.16), // Los Angeles
+    (-73.99, 40.73, 0.20),  // New York
+    (-87.63, 41.88, 0.10),  // Chicago
+    (-95.37, 29.76, 0.08),  // Houston
+    (-122.42, 37.77, 0.09), // San Francisco
+    (-80.19, 25.76, 0.07),  // Miami
+    (-104.99, 39.74, 0.05), // Denver
+    (-122.33, 47.61, 0.06), // Seattle
+    (-84.39, 33.75, 0.05),  // Atlanta
+    (-112.07, 33.45, 0.04), // Phoenix
+    (-77.04, 38.91, 0.05),  // Washington DC
 ];
 
 /// Continental-US bounding box used for the background noise and map extents.
@@ -218,7 +218,10 @@ mod tests {
         let ds = build_twitter(DatasetScale::tiny(), 1);
         assert_eq!(ds.row_count(), 5_000);
         assert_eq!(ds.db.row_count("users").unwrap(), 200);
-        assert_eq!(ds.db.indexed_columns("tweets").unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            ds.db.indexed_columns("tweets").unwrap(),
+            vec![1, 2, 3, 4, 5]
+        );
         assert!(!ds.seeds.is_empty());
         assert_eq!(ds.spec.text_attr, Some(3));
     }
@@ -236,14 +239,14 @@ mod tests {
     fn coordinates_are_clustered() {
         let ds = build_twitter(DatasetScale::tiny(), 3);
         // A small box around New York should hold far more than its area share.
-        let ny = vizdb::query::Predicate::spatial_range(
-            2,
-            GeoRect::new(-74.5, 40.2, -73.5, 41.2),
-        );
+        let ny = vizdb::query::Predicate::spatial_range(2, GeoRect::new(-74.5, 40.2, -73.5, 41.2));
         let sel = ds.db.true_selectivity("tweets", &ny).unwrap();
         let est = ds.db.estimated_selectivity("tweets", &ny).unwrap();
         assert!(sel > 0.08, "true selectivity {sel}");
-        assert!(est < sel, "uniformity estimate {est} should undershoot {sel}");
+        assert!(
+            est < sel,
+            "uniformity estimate {est} should undershoot {sel}"
+        );
     }
 
     #[test]

@@ -66,9 +66,7 @@ fn main() {
     let rewriters: Vec<Box<dyn QueryRewriter>> = vec![
         Box::new(BaselineRewriter::new()),
         Box::new(NaiveRewriter::new(approximate.clone())),
-        Box::new(
-            BaoRewriter::train(db.clone(), &split.train, BaoConfig::default()).expect("bao"),
-        ),
+        Box::new(BaoRewriter::train(db.clone(), &split.train, BaoConfig::default()).expect("bao")),
         Box::new(train_mdp(approximate, "MDP (Approximate-QTE)")),
         Box::new(train_mdp(accurate, "MDP (Accurate-QTE)")),
     ];

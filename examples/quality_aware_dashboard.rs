@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use maliva::{QualityAwareMode, QualityAwareRewriter, QueryRewriter, MalivaConfig};
+use maliva::{MalivaConfig, QualityAwareMode, QualityAwareRewriter, QueryRewriter};
 use maliva_qte::{AccurateQte, QueryTimeEstimator};
 use maliva_quality::{jaccard_quality, QualityFunction};
 use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};
@@ -59,7 +59,10 @@ fn main() {
             break;
         }
     }
-    println!("{} evaluation queries have no viable exact plan; showing decisions:\n", hard.len());
+    println!(
+        "{} evaluation queries have no viable exact plan; showing decisions:\n",
+        hard.len()
+    );
 
     for (i, q) in hard.iter().enumerate() {
         let exact_result = db.run(q, &RewriteOption::original()).expect("run").result;

@@ -70,9 +70,17 @@ fn main() {
         tau_ms,
     );
     let query = &split.eval[0];
-    println!("\noriginal SQL:\n{}", dataset.db.render_sql(query, &vizdb::hints::RewriteOption::original()));
+    println!(
+        "\noriginal SQL:\n{}",
+        dataset
+            .db
+            .render_sql(query, &vizdb::hints::RewriteOption::original())
+    );
     let decision = rewriter.rewrite(query).expect("rewrite");
-    println!("\nrewritten SQL:\n{}", dataset.db.render_sql(query, &decision.rewrite));
+    println!(
+        "\nrewritten SQL:\n{}",
+        dataset.db.render_sql(query, &decision.rewrite)
+    );
     let exec_ms = dataset
         .db
         .execution_time_ms(query, &decision.rewrite)

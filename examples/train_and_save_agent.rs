@@ -40,7 +40,11 @@ fn main() {
     // Save to disk.
     let path = std::env::temp_dir().join("maliva_agent.json");
     std::fs::write(&path, trained.agent.to_json()).expect("write agent");
-    println!("agent saved to {} ({} bytes)", path.display(), std::fs::metadata(&path).unwrap().len());
+    println!(
+        "agent saved to {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
 
     // Reload and check the decisions match.
     let reloaded = QAgent::from_json(&std::fs::read_to_string(&path).expect("read"))
@@ -60,5 +64,9 @@ fn main() {
         matching,
         sample.len()
     );
-    assert_eq!(matching, sample.len(), "reloaded agent must behave identically");
+    assert_eq!(
+        matching,
+        sample.len(),
+        "reloaded agent must behave identically"
+    );
 }

@@ -69,7 +69,11 @@ fn main() {
         original.plan.explain(&query),
         original.time_ms,
         tau_ms,
-        if original.time_ms <= tau_ms { "OK" } else { "TOO SLOW" }
+        if original.time_ms <= tau_ms {
+            "OK"
+        } else {
+            "TOO SLOW"
+        }
     );
 
     println!("\n--- Maliva middleware ---");

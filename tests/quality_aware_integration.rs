@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use maliva::{QualityAwareMode, QualityAwareRewriter, QueryRewriter, MalivaConfig};
+use maliva::{MalivaConfig, QualityAwareMode, QualityAwareRewriter, QueryRewriter};
 use maliva_qte::{AccurateQte, QueryTimeEstimator};
 use maliva_quality::{jaccard_quality, QualityFunction};
 use maliva_workload::{build_twitter, generate_workload, split_workload, DatasetScale};

@@ -102,7 +102,10 @@ fn viable_plan_counts_are_deterministic_and_bounded() {
         assert_eq!(a, b);
         assert!(a <= 8);
         let generous = dataset.db.viable_plan_count(query, 1e12).unwrap();
-        assert_eq!(generous, 8, "every plan is viable under an unlimited budget");
+        assert_eq!(
+            generous, 8,
+            "every plan is viable under an unlimited budget"
+        );
     }
 }
 
