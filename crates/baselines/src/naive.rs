@@ -88,7 +88,7 @@ mod tests {
             });
         }
         let mut db = Database::new(DbConfig::default());
-        db.register_table(b.build());
+        db.register_table(b.build()).unwrap();
         db.build_all_indexes("t").unwrap();
         Arc::new(db)
     }

@@ -1,0 +1,65 @@
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+//! Benchmark of the concurrent serving layer: a fixed viewport workload served
+//! through `MalivaServer` at 1/2/4/8 workers, with and without the decision
+//! cache, quantifying the cost of re-planning repeated viewport queries and the
+//! scaling of the scoped-thread worker pool.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use maliva::{QAgent, RewriteSpace};
+use maliva_qte::{AccurateQte, QueryTimeEstimator};
+use maliva_serve::{DecisionCacheConfig, MalivaServer, ServeConfig, ServeRequest};
+use maliva_workload::{build_twitter, generate_workload, DatasetScale};
+
+fn bench_serving(c: &mut Criterion) {
+    let dataset = build_twitter(DatasetScale::tiny(), 23);
+    let db = dataset.db.clone();
+    let queries = generate_workload(&dataset, 12, 41);
+    // Re-request every viewport twice (map pans revisit viewports).
+    let requests: Vec<ServeRequest> = queries
+        .iter()
+        .chain(queries.iter())
+        .map(|q| ServeRequest::new(q.clone()))
+        .collect();
+    let space_len = RewriteSpace::hints_only(&queries[0]).len();
+    let agent = Arc::new(QAgent::new(space_len, 500.0, 3));
+
+    let make_server = |workers: usize, cache: DecisionCacheConfig| {
+        let qte: Arc<dyn QueryTimeEstimator> = Arc::new(AccurateQte::new(db.clone()));
+        MalivaServer::new(
+            db.clone(),
+            agent.clone(),
+            qte,
+            Arc::new(RewriteSpace::hints_only),
+            ServeConfig {
+                workers,
+                default_tau_ms: 500.0,
+                cache,
+            },
+        )
+    };
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("cached", workers),
+            &workers,
+            |b, &workers| {
+                let server = make_server(workers, DecisionCacheConfig::default());
+                b.iter(|| std::hint::black_box(server.serve_batch(&requests).unwrap()))
+            },
+        );
+    }
+    group.bench_function("uncached_1_worker", |b| {
+        let server = make_server(1, DecisionCacheConfig::disabled());
+        b.iter(|| std::hint::black_box(server.serve_batch(&requests).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

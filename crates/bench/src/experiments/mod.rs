@@ -5,6 +5,10 @@
 //! `MALIVA_SCALE` / `MALIVA_QUERIES` environment variables (see
 //! [`crate::harness::scale_from_env`]).
 
+pub mod serve;
+
+pub use serve::run_serve_throughput;
+
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -688,7 +692,7 @@ pub fn run_fig21() -> Vec<ExperimentOutput> {
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19a", "fig19b", "fig20", "fig21",
+        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve",
     ]
 }
 
@@ -706,6 +710,7 @@ pub fn run_experiment(id: &str) -> Vec<ExperimentOutput> {
         "fig19b" => run_fig19b(),
         "fig20" => run_fig20(),
         "fig21" => run_fig21(),
+        "serve" => run_serve_throughput(),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -733,5 +738,9 @@ pub fn experiment_descriptions() -> BTreeMap<&'static str, &'static str> {
             "Quality-aware rewriting (VQP, AQRT, Jaccard quality)",
         ),
         ("fig21", "Learning curves and training time"),
+        (
+            "serve",
+            "Serving throughput/latency at 1/2/4/8 workers + decision-cache ablation",
+        ),
     ])
 }

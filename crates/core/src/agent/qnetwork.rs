@@ -16,6 +16,14 @@ pub struct QAgent {
     tau_ms: f64,
 }
 
+// Inference (`q_values` / `best_action`) takes `&self` and the networks are
+// plain data, so one trained agent can be shared across serving threads behind
+// an `Arc` without locking; keep that contract visible at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QAgent>();
+};
+
 impl QAgent {
     /// Creates an agent for a rewrite space of `n_actions` options and a budget of
     /// `tau_ms` (used to normalise state features). The network has two hidden layers

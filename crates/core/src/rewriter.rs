@@ -45,6 +45,14 @@ pub struct MalivaRewriter {
     tau_ms: f64,
 }
 
+// `QueryRewriter: Send + Sync` already implies this for trait objects, but the
+// concrete type is also shared directly (e.g. by the serving layer's tests);
+// assert it independently of the trait impl.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MalivaRewriter>();
+};
+
 impl MalivaRewriter {
     /// Creates a rewriter from a trained agent.
     pub fn new(

@@ -66,8 +66,8 @@ pub fn tiny_db_with_config(config: DbConfig) -> Arc<Database> {
     }
 
     let mut db = Database::new(config);
-    db.register_table(b.build());
-    db.register_table(ub.build());
+    db.register_table(b.build()).unwrap();
+    db.register_table(ub.build()).unwrap();
     db.build_all_indexes("tweets").unwrap();
     db.build_all_indexes("users").unwrap();
     db.build_sample("tweets", 1).unwrap();

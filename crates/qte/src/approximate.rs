@@ -264,7 +264,7 @@ mod tests {
             DbConfig::default()
         };
         let mut db = Database::new(config);
-        db.register_table(b.build());
+        db.register_table(b.build()).unwrap();
         db.build_all_indexes("tweets").unwrap();
         db.build_sample("tweets", 1).unwrap();
         db.build_sample("tweets", 20).unwrap();

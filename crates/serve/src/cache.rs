@@ -1,0 +1,315 @@
+//! The decision cache: memoises online-planning outcomes per (query, τ-bucket).
+//!
+//! Planning a query with [`maliva::plan_online`] costs a sequence of QTE calls;
+//! for a map-centric workload the same viewport queries arrive over and over, so
+//! the serving layer fronts planning with a bounded, sharded cache keyed by the
+//! *corrected* query fingerprint (see `vizdb::fingerprint`) and a quantised time
+//! budget. Cached decisions are deterministic functions of their key — planning
+//! is greedy over a fixed agent and a deterministic simulated database — so
+//! whichever worker plans a key first installs exactly the value every other
+//! worker would have computed, and hit/miss races cannot change served results.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use vizdb::fingerprint::query_fingerprint;
+use vizdb::hints::RewriteOption;
+use vizdb::query::Query;
+
+/// Number of independent lock shards (power of two so shard selection is a mask).
+const SHARDS: usize = 8;
+
+/// Configuration of a [`DecisionCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionCacheConfig {
+    /// Target number of cached decisions. The bound is enforced *per shard*
+    /// (`capacity / 8`, rounded up), so a key distribution skewed towards one
+    /// shard starts evicting before the global total is reached, and rounding
+    /// can admit slightly more than `capacity` entries overall. `0` disables
+    /// the cache entirely (every lookup misses, inserts are dropped).
+    pub capacity: usize,
+    /// Width of the τ-quantisation bucket in milliseconds. `0.0` keys by the
+    /// exact τ bits. With a positive width, every budget inside
+    /// `[k·w, (k+1)·w)` is planned with the *canonical* budget `k·w` (the
+    /// conservative floor), so a cached decision is still a pure function of its
+    /// key and determinism is preserved across worker interleavings.
+    pub tau_bucket_ms: f64,
+}
+
+impl Default for DecisionCacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            tau_bucket_ms: 0.0,
+        }
+    }
+}
+
+impl DecisionCacheConfig {
+    /// A configuration with the cache disabled (used as a planning baseline).
+    pub fn disabled() -> Self {
+        Self {
+            capacity: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// A memoised planning outcome.
+#[derive(Debug, Clone)]
+pub struct CachedDecision {
+    /// Index of the chosen option in the query's rewrite space.
+    pub chosen_index: usize,
+    /// The chosen rewrite option.
+    pub rewrite: RewriteOption,
+    /// Simulated planning cost that the original planning run paid (charged to
+    /// every consumer of this entry so that served responses are identical
+    /// whether they hit or miss).
+    pub planning_ms: f64,
+}
+
+/// Monotonic hit/miss/eviction counters of a [`DecisionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required planning.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries inserted (first-wins; re-inserts of a present key don't count).
+    pub insertions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl DecisionCacheStats {
+    /// Fraction of lookups answered from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One lock shard: the map plus FIFO insertion order for eviction.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<(u64, u64), CachedDecision>,
+    order: VecDeque<(u64, u64)>,
+}
+
+/// A bounded, sharded map from (query fingerprint, τ-bucket) to planning
+/// decisions, safe to share across serving threads.
+pub struct DecisionCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    tau_bucket_ms: f64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl DecisionCache {
+    /// Creates a cache with the given configuration.
+    pub fn new(config: DecisionCacheConfig) -> Self {
+        // Round the per-shard bound up so the configured total is never undercut.
+        let shard_capacity = config.capacity.div_ceil(SHARDS);
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            tau_bucket_ms: config.tau_bucket_ms.max(0.0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache key of `(query, tau_ms)`.
+    pub fn key(&self, query: &Query, tau_ms: f64) -> (u64, u64) {
+        let tau_key = if self.tau_bucket_ms > 0.0 {
+            (tau_ms / self.tau_bucket_ms).floor() as u64
+        } else {
+            tau_ms.to_bits()
+        };
+        (query_fingerprint(query), tau_key)
+    }
+
+    /// The budget planning must use for `tau_ms` so that the resulting decision
+    /// is a pure function of [`Self::key`]: the bucket floor when τ-bucketing is
+    /// on, the exact budget otherwise.
+    pub fn canonical_tau(&self, tau_ms: f64) -> f64 {
+        if self.tau_bucket_ms > 0.0 {
+            (tau_ms / self.tau_bucket_ms).floor() * self.tau_bucket_ms
+        } else {
+            tau_ms
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<Shard> {
+        &self.shards[(key.0 ^ key.1) as usize & (SHARDS - 1)]
+    }
+
+    /// Looks `key` up, updating the hit/miss counters.
+    pub fn get(&self, key: (u64, u64)) -> Option<CachedDecision> {
+        let found = self.shard(key).lock().map.get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Inserts a decision unless the key is already present (first insert wins,
+    /// mirroring the database caches), evicting the oldest entry of the shard
+    /// when the capacity bound is hit. Returns the canonical cached decision.
+    pub fn insert(&self, key: (u64, u64), decision: CachedDecision) -> CachedDecision {
+        if self.shard_capacity == 0 {
+            return decision;
+        }
+        let mut shard = self.shard(key).lock();
+        if let Some(existing) = shard.map.get(&key) {
+            return existing.clone();
+        }
+        if shard.map.len() >= self.shard_capacity {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, decision.clone());
+        shard.order.push_back(key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        decision
+    }
+
+    /// Current counter values and entry count.
+    pub fn stats(&self) -> DecisionCacheStats {
+        DecisionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
+        }
+    }
+
+    /// Drops every cached decision (counters are preserved).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vizdb::hints::HintSet;
+    use vizdb::query::Predicate;
+
+    fn decision(i: usize) -> CachedDecision {
+        CachedDecision {
+            chosen_index: i,
+            rewrite: RewriteOption::hinted(HintSet::with_mask(i as u32)),
+            planning_ms: 40.0 + i as f64,
+        }
+    }
+
+    fn query(i: u64) -> Query {
+        Query::select("t").filter(Predicate::time_range(0, 0, i as i64 + 1))
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let key = cache.key(&query(1), 500.0);
+        assert!(cache.get(key).is_none());
+        cache.insert(key, decision(3));
+        let hit = cache.get(key).expect("cached");
+        assert_eq!(hit.chosen_index, 3);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_taus_have_distinct_keys_without_bucketing() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let q = query(1);
+        assert_ne!(cache.key(&q, 500.0), cache.key(&q, 501.0));
+        assert_eq!(cache.canonical_tau(501.0), 501.0);
+    }
+
+    #[test]
+    fn tau_bucketing_quantises_key_and_budget_together() {
+        let cache = DecisionCache::new(DecisionCacheConfig {
+            capacity: 64,
+            tau_bucket_ms: 50.0,
+        });
+        let q = query(1);
+        assert_eq!(cache.key(&q, 500.0), cache.key(&q, 549.9));
+        assert_ne!(cache.key(&q, 500.0), cache.key(&q, 550.0));
+        // Whatever τ in the bucket arrives first, planning uses the same budget.
+        assert_eq!(cache.canonical_tau(500.0), 500.0);
+        assert_eq!(cache.canonical_tau(549.9), 500.0);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(1));
+        let canonical = cache.insert(key, decision(2));
+        assert_eq!(canonical.chosen_index, 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let cache = DecisionCache::new(DecisionCacheConfig {
+            capacity: 8, // one entry per shard
+            tau_bucket_ms: 0.0,
+        });
+        for i in 0..64u64 {
+            cache.insert(cache.key(&query(i), 500.0), decision(i as usize));
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.entries <= 8,
+            "entries {} exceed capacity",
+            stats.entries
+        );
+        assert_eq!(stats.evictions, stats.insertions - stats.entries as u64);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = DecisionCache::new(DecisionCacheConfig::disabled());
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(1));
+        assert!(cache.get(key).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(1));
+        let _ = cache.get(key);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits, 1);
+        assert!(cache.get(key).is_none());
+    }
+}

@@ -1,0 +1,29 @@
+//! # maliva-serve — a concurrent, cache-fronted query-serving layer
+//!
+//! Maliva is middleware in front of a database (paper §1): visualization
+//! frontends send it map-viewport queries with a per-query time budget τ, and it
+//! answers each within the budget by rewriting the query before execution. This
+//! crate adds the serving machinery that the core reproduction leaves out:
+//!
+//! * [`MalivaServer`] shares one `Arc<vizdb::Database>`, one trained
+//!   [`maliva::QAgent`] and one [`maliva_qte::QueryTimeEstimator`] across
+//!   `std::thread::scope` worker threads that drain a request queue through
+//!   [`maliva::plan_online`] + [`vizdb::Database::run`];
+//! * [`DecisionCache`] fronts planning with a bounded, sharded map keyed by the
+//!   corrected query fingerprint and a τ-bucket, with hit/miss/eviction
+//!   counters, so repeated viewport queries skip re-planning entirely;
+//! * [`ServeMetrics`] reports wall-clock throughput (queries/sec) and
+//!   p50/p95/p99 latency for the `serve` experiment in `maliva-bench`
+//!   (`cargo run -p maliva-bench --release --bin experiments -- serve`).
+//!
+//! Everything a response carries is simulated and deterministic, so a batch
+//! served with 8 workers is byte-identical to the single-threaded run — the
+//! repro's core invariant, pinned by this crate's concurrency smoke tests.
+
+pub mod cache;
+pub mod server;
+
+pub use cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionCacheStats};
+pub use server::{
+    percentile_ms, MalivaServer, ServeConfig, ServeMetrics, ServeRequest, ServeResponse,
+};

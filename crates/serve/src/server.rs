@@ -1,0 +1,497 @@
+//! The multi-threaded serving loop.
+//!
+//! A [`MalivaServer`] owns shared handles to the simulated database, a trained
+//! agent and a QTE, plus a [`DecisionCache`]. [`MalivaServer::serve_batch`]
+//! drains a queue of visualization requests across `std::thread::scope` workers:
+//! each request is planned with [`maliva::plan_online`] (unless the decision
+//! cache already knows the answer) and then executed with [`vizdb::Database::run`].
+//!
+//! Every quantity a response carries is *simulated* and deterministic — planning
+//! cost, execution time, viability, the materialised result — so serving the same
+//! batch with 1 or 8 workers produces identical responses; only the wall-clock
+//! throughput changes. This is the invariant the concurrency smoke tests pin.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use maliva::train::SpaceBuilder;
+use maliva::{plan_online, QAgent};
+use maliva_qte::QueryTimeEstimator;
+use vizdb::error::{Error, Result};
+use vizdb::exec::QueryResult;
+use vizdb::hints::RewriteOption;
+use vizdb::query::Query;
+use vizdb::Database;
+
+use crate::cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionCacheStats};
+
+/// Configuration of a [`MalivaServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of worker threads `serve_batch` spawns (at least 1).
+    pub workers: usize,
+    /// Time budget τ applied to requests that don't carry their own.
+    pub default_tau_ms: f64,
+    /// Decision-cache sizing and τ-bucketing.
+    pub cache: DecisionCacheConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            default_tau_ms: 500.0,
+            cache: DecisionCacheConfig::default(),
+        }
+    }
+}
+
+/// One visualization request: a query plus its time budget.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The visualization query.
+    pub query: Query,
+    /// Time budget in (simulated) milliseconds; `None` uses the server default.
+    pub tau_ms: Option<f64>,
+}
+
+impl ServeRequest {
+    /// A request served under the server's default budget.
+    pub fn new(query: Query) -> Self {
+        Self {
+            query,
+            tau_ms: None,
+        }
+    }
+
+    /// A request with an explicit budget.
+    pub fn with_tau(query: Query, tau_ms: f64) -> Self {
+        Self {
+            query,
+            tau_ms: Some(tau_ms),
+        }
+    }
+}
+
+/// The served answer for one request.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Position of the request in the batch.
+    pub request_index: usize,
+    /// Index of the chosen option in the query's rewrite space.
+    pub chosen_index: usize,
+    /// The rewrite the server sent to the database.
+    pub rewrite: RewriteOption,
+    /// Simulated planning cost in milliseconds (the canonical cost of planning
+    /// this key, charged identically on cache hits and misses).
+    pub planning_ms: f64,
+    /// Simulated execution time of the rewritten query in milliseconds.
+    pub exec_ms: f64,
+    /// Simulated total response time (planning + execution).
+    pub total_ms: f64,
+    /// Whether the total stayed within the request's budget.
+    pub viable: bool,
+    /// Whether planning was answered from the decision cache.
+    pub cache_hit: bool,
+    /// The materialised visualization result.
+    pub result: QueryResult,
+}
+
+impl ServeResponse {
+    /// The deterministic portion of the response — everything except
+    /// `cache_hit`, which legitimately depends on request interleaving.
+    pub fn deterministic_view(
+        &self,
+    ) -> (usize, usize, &RewriteOption, f64, f64, bool, &QueryResult) {
+        (
+            self.request_index,
+            self.chosen_index,
+            &self.rewrite,
+            self.planning_ms,
+            self.exec_ms,
+            self.viable,
+            &self.result,
+        )
+    }
+}
+
+/// Wall-clock metrics of one `serve_batch` run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeMetrics {
+    /// Requests served.
+    pub requests: usize,
+    /// Total wall-clock time of the batch in milliseconds.
+    pub wall_clock_ms: f64,
+    /// Aggregate throughput in queries per second.
+    pub queries_per_sec: f64,
+    /// Median per-request wall-clock latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-request wall-clock latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile per-request wall-clock latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// The `p`-th percentile (0–100) of an unsorted latency sample, by the
+/// nearest-rank method; 0 for an empty sample.
+pub fn percentile_ms(latencies: &[f64], p: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl ServeMetrics {
+    fn from_run(wall_clock_ms: f64, latencies: &[f64]) -> Self {
+        let requests = latencies.len();
+        Self {
+            requests,
+            wall_clock_ms,
+            queries_per_sec: if wall_clock_ms > 0.0 {
+                requests as f64 / (wall_clock_ms / 1000.0)
+            } else {
+                0.0
+            },
+            p50_ms: percentile_ms(latencies, 50.0),
+            p95_ms: percentile_ms(latencies, 95.0),
+            p99_ms: percentile_ms(latencies, 99.0),
+        }
+    }
+}
+
+/// A multi-threaded, cache-fronted query server over one simulated database.
+pub struct MalivaServer {
+    db: Arc<Database>,
+    agent: Arc<QAgent>,
+    qte: Arc<dyn QueryTimeEstimator>,
+    space_builder: Arc<SpaceBuilder>,
+    cache: DecisionCache,
+    config: ServeConfig,
+}
+
+// `serve_batch` borrows `self` from every scoped worker thread.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MalivaServer>();
+};
+
+impl MalivaServer {
+    /// Creates a server over shared database / agent / QTE handles.
+    ///
+    /// `space_builder` must be the same builder the agent was trained with (the
+    /// Q-network output dimensionality is the space size).
+    pub fn new(
+        db: Arc<Database>,
+        agent: Arc<QAgent>,
+        qte: Arc<dyn QueryTimeEstimator>,
+        space_builder: Arc<SpaceBuilder>,
+        config: ServeConfig,
+    ) -> Self {
+        Self {
+            db,
+            agent,
+            qte,
+            space_builder,
+            cache: DecisionCache::new(config.cache),
+            config,
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shared database handle.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Decision-cache counters.
+    pub fn cache_stats(&self) -> DecisionCacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops all cached decisions (counters survive).
+    pub fn clear_decision_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Serves one request: plan (through the decision cache) then execute.
+    pub fn serve_one(&self, request_index: usize, request: &ServeRequest) -> Result<ServeResponse> {
+        let tau_ms = request.tau_ms.unwrap_or(self.config.default_tau_ms);
+        let key = self.cache.key(&request.query, tau_ms);
+        let (decision, cache_hit) = match self.cache.get(key) {
+            Some(found) => (found, true),
+            None => {
+                let space = (self.space_builder)(&request.query);
+                let outcome = plan_online(
+                    &self.agent,
+                    &self.db,
+                    self.qte.as_ref(),
+                    &request.query,
+                    &space,
+                    self.cache.canonical_tau(tau_ms),
+                )?;
+                let planned = CachedDecision {
+                    chosen_index: outcome.chosen_index,
+                    rewrite: outcome.rewrite,
+                    planning_ms: outcome.planning_ms,
+                };
+                // First insert wins, so a racing worker's identical decision is
+                // returned as the canonical one.
+                (self.cache.insert(key, planned), false)
+            }
+        };
+        let run = self.db.run(&request.query, &decision.rewrite)?;
+        let total_ms = decision.planning_ms + run.time_ms;
+        Ok(ServeResponse {
+            request_index,
+            chosen_index: decision.chosen_index,
+            rewrite: decision.rewrite,
+            planning_ms: decision.planning_ms,
+            exec_ms: run.time_ms,
+            total_ms,
+            viable: total_ms <= tau_ms,
+            cache_hit,
+            result: run.result,
+        })
+    }
+
+    /// Serves a whole batch across `config.workers` scoped threads, returning
+    /// responses in request order.
+    pub fn serve_batch(&self, requests: &[ServeRequest]) -> Result<Vec<ServeResponse>> {
+        Ok(self.serve_batch_timed(requests)?.0)
+    }
+
+    /// Like [`Self::serve_batch`] but also reports wall-clock throughput and
+    /// latency percentiles.
+    pub fn serve_batch_timed(
+        &self,
+        requests: &[ServeRequest],
+    ) -> Result<(Vec<ServeResponse>, ServeMetrics)> {
+        let workers = self.config.workers.max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ServeResponse>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        let latencies: Vec<Mutex<f64>> = requests.iter().map(|_| Mutex::new(0.0)).collect();
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let request_started = Instant::now();
+                    let response = self.serve_one(i, &requests[i]);
+                    *latencies[i].lock() = request_started.elapsed().as_secs_f64() * 1000.0;
+                    *slots[i].lock() = Some(response);
+                });
+            }
+        });
+        let wall_clock_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+        let mut responses = Vec::with_capacity(requests.len());
+        for slot in slots {
+            match slot.into_inner() {
+                Some(Ok(response)) => responses.push(response),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(Error::Internal(
+                        "a request was never picked up by a worker".into(),
+                    ))
+                }
+            }
+        }
+        let latencies: Vec<f64> = latencies.into_iter().map(Mutex::into_inner).collect();
+        Ok((responses, ServeMetrics::from_run(wall_clock_ms, &latencies)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maliva::RewriteSpace;
+    use vizdb::query::{OutputKind, Predicate};
+    use vizdb::schema::{ColumnType, TableSchema};
+    use vizdb::storage::TableBuilder;
+    use vizdb::DbConfig;
+
+    fn build_db() -> Arc<Database> {
+        let schema = TableSchema::new("tweets")
+            .with_column("id", ColumnType::Int)
+            .with_column("created_at", ColumnType::Timestamp)
+            .with_column("text", ColumnType::Text);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..3000i64 {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_timestamp("created_at", i * 60);
+                let unique = format!("u{i}");
+                let words: Vec<&str> = if i % 4 == 0 {
+                    vec!["covid", unique.as_str()]
+                } else {
+                    vec!["weather", unique.as_str()]
+                };
+                row.set_text("text", &words);
+            });
+        }
+        let mut db = Database::new(DbConfig::default());
+        db.register_table(b.build()).unwrap();
+        db.build_all_indexes("tweets").unwrap();
+        Arc::new(db)
+    }
+
+    fn make_query(i: u64) -> Query {
+        Query::select("tweets")
+            .filter(Predicate::keyword(
+                2,
+                if i % 2 == 0 { "covid" } else { "weather" },
+            ))
+            .filter(Predicate::time_range(
+                1,
+                0,
+                60 * (500 + (i % 5) as i64 * 250),
+            ))
+            .output(OutputKind::Count)
+    }
+
+    /// An untrained (but deterministic) agent is enough to exercise the serving
+    /// machinery; training quality is tested in `maliva` itself.
+    fn server_with_workers(db: Arc<Database>, workers: usize) -> MalivaServer {
+        let space_len = RewriteSpace::hints_only(&make_query(0)).len();
+        MalivaServer::new(
+            db.clone(),
+            Arc::new(QAgent::new(space_len, 500.0, 7)),
+            Arc::new(maliva_qte::AccurateQte::new(db)),
+            Arc::new(RewriteSpace::hints_only),
+            ServeConfig {
+                workers,
+                default_tau_ms: 500.0,
+                cache: DecisionCacheConfig::default(),
+            },
+        )
+    }
+
+    fn batch(n: usize) -> Vec<ServeRequest> {
+        (0..n as u64)
+            .map(|i| ServeRequest::new(make_query(i)))
+            .collect()
+    }
+
+    #[test]
+    fn serve_one_plans_and_executes() {
+        let server = server_with_workers(build_db(), 1);
+        let response = server
+            .serve_one(0, &ServeRequest::new(make_query(0)))
+            .unwrap();
+        assert!(response.planning_ms > 0.0);
+        assert!(response.exec_ms > 0.0);
+        assert!((response.total_ms - response.planning_ms - response.exec_ms).abs() < 1e-9);
+        assert!(!response.cache_hit);
+        assert!(response.result.len() > 0);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_decision_cache() {
+        let server = server_with_workers(build_db(), 2);
+        let requests: Vec<ServeRequest> =
+            (0..12).map(|_| ServeRequest::new(make_query(0))).collect();
+        let responses = server.serve_batch(&requests).unwrap();
+        assert_eq!(responses.len(), 12);
+        let stats = server.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+        assert!(stats.hits >= 10, "expected mostly hits, got {stats:?}");
+        // Hits must serve the canonical decision.
+        for r in &responses {
+            assert_eq!(r.planning_ms, responses[0].planning_ms);
+            assert_eq!(r.rewrite, responses[0].rewrite);
+            assert_eq!(r.result, responses[0].result);
+        }
+    }
+
+    #[test]
+    fn batch_responses_are_in_request_order() {
+        let server = server_with_workers(build_db(), 4);
+        let responses = server.serve_batch(&batch(16)).unwrap();
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.request_index, i);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_responses() {
+        let db = build_db();
+        let requests = batch(20);
+        let single = server_with_workers(db.clone(), 1);
+        let reference = single.serve_batch(&requests).unwrap();
+        for workers in [2, 4, 8] {
+            db.clear_caches();
+            let server = server_with_workers(db.clone(), workers);
+            let responses = server.serve_batch(&requests).unwrap();
+            assert_eq!(responses.len(), reference.len());
+            for (a, b) in reference.iter().zip(&responses) {
+                assert_eq!(a.deterministic_view(), b.deterministic_view());
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_tau_controls_viability() {
+        let server = server_with_workers(build_db(), 1);
+        let q = make_query(0);
+        let generous = server
+            .serve_one(0, &ServeRequest::with_tau(q.clone(), 1.0e9))
+            .unwrap();
+        assert!(generous.viable);
+        let impossible = server
+            .serve_one(1, &ServeRequest::with_tau(q, 1.0e-3))
+            .unwrap();
+        assert!(!impossible.viable);
+    }
+
+    #[test]
+    fn planning_errors_propagate_out_of_the_batch() {
+        let db = build_db();
+        // Agent trained for a different space size: planning must fail cleanly.
+        let server = MalivaServer::new(
+            db.clone(),
+            Arc::new(QAgent::new(3, 500.0, 7)),
+            Arc::new(maliva_qte::AccurateQte::new(db)),
+            Arc::new(RewriteSpace::hints_only),
+            ServeConfig::default(),
+        );
+        let err = server.serve_batch(&batch(4)).unwrap_err();
+        assert!(
+            err.to_string().contains("rewrite-space size"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn metrics_report_throughput_and_percentiles() {
+        let server = server_with_workers(build_db(), 2);
+        let (responses, metrics) = server.serve_batch_timed(&batch(10)).unwrap();
+        assert_eq!(metrics.requests, responses.len());
+        assert!(metrics.wall_clock_ms > 0.0);
+        assert!(metrics.queries_per_sec > 0.0);
+        assert!(metrics.p50_ms <= metrics.p95_ms);
+        assert!(metrics.p95_ms <= metrics.p99_ms);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sample = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_ms(&sample, 50.0), 20.0);
+        assert_eq!(percentile_ms(&sample, 95.0), 40.0);
+        assert_eq!(percentile_ms(&[], 99.0), 0.0);
+    }
+}

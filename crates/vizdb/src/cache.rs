@@ -1,0 +1,169 @@
+//! A sharded, thread-safe get-or-compute cache for fingerprint-keyed values.
+//!
+//! Both of the database's memoisation caches (execution times and true
+//! selectivities) are keyed by pairs of 64-bit fingerprints and store values that
+//! are *deterministic functions of their key*. That property lets concurrent
+//! workers race benignly: whichever worker computes a value first installs it, and
+//! every other worker observes exactly the same number. The cache exposes a
+//! `get_or_try_compute` API so callers can no longer write the check-then-insert
+//! sequences that previously (a) recomputed values under concurrency and (b) in
+//! one case skipped the insert entirely on an early-return path.
+//!
+//! Sharding by key hash keeps lock contention low when many serving threads hit
+//! the cache at once; the value is computed *outside* the shard lock so a slow
+//! computation (e.g. a simulated full scan) never blocks unrelated keys.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Number of independent lock shards (power of two so shard selection is a mask).
+const SHARDS: usize = 16;
+
+/// A sharded map from `(u64, u64)` fingerprint pairs to `f64` values.
+#[derive(Debug)]
+pub struct FingerprintCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), f64>>>,
+}
+
+impl Default for FingerprintCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), f64>> {
+        // Fingerprints are FNV-mixed, so the low bits are already well spread.
+        &self.shards[(key.0 ^ key.1) as usize & (SHARDS - 1)]
+    }
+
+    /// Returns the cached value for `key`, if present.
+    pub fn get(&self, key: (u64, u64)) -> Option<f64> {
+        self.shard(key).lock().get(&key).copied()
+    }
+
+    /// Returns the cached value for `key`, computing and caching it on a miss.
+    ///
+    /// `compute` runs outside the shard lock, so concurrent callers may race to
+    /// compute the same key; the first insert wins and every caller returns the
+    /// canonical (first-inserted) value. Errors are not cached.
+    pub fn get_or_try_compute<E>(
+        &self,
+        key: (u64, u64),
+        compute: impl FnOnce() -> Result<f64, E>,
+    ) -> Result<f64, E> {
+        if let Some(v) = self.get(key) {
+            return Ok(v);
+        }
+        let v = compute()?;
+        Ok(self.insert_canonical(key, v))
+    }
+
+    /// Inserts `value` unless the key is already present, returning the canonical
+    /// (already-present or just-inserted) value.
+    pub fn insert_canonical(&self, key: (u64, u64), value: f64) -> f64 {
+        *self.shard(key).lock().entry(key).or_insert(value)
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every cached entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_computes_and_caches() {
+        let cache = FingerprintCache::new();
+        let v: Result<f64, ()> = cache.get_or_try_compute((1, 2), || Ok(7.5));
+        assert_eq!(v, Ok(7.5));
+        assert_eq!(cache.get((1, 2)), Some(7.5));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn hit_skips_compute() {
+        let cache = FingerprintCache::new();
+        let _: Result<f64, ()> = cache.get_or_try_compute((1, 2), || Ok(1.0));
+        let v: Result<f64, ()> = cache.get_or_try_compute((1, 2), || panic!("must not recompute"));
+        assert_eq!(v, Ok(1.0));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = FingerprintCache::new();
+        let e: Result<f64, &str> = cache.get_or_try_compute((3, 4), || Err("boom"));
+        assert_eq!(e, Err("boom"));
+        assert_eq!(cache.get((3, 4)), None);
+        let v: Result<f64, &str> = cache.get_or_try_compute((3, 4), || Ok(2.0));
+        assert_eq!(v, Ok(2.0));
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = FingerprintCache::new();
+        assert_eq!(cache.insert_canonical((9, 9), 1.0), 1.0);
+        assert_eq!(cache.insert_canonical((9, 9), 2.0), 1.0);
+        assert_eq!(cache.get((9, 9)), Some(1.0));
+    }
+
+    #[test]
+    fn clear_empties_every_shard() {
+        let cache = FingerprintCache::new();
+        // Spread keys across shards.
+        for i in 0..64u64 {
+            cache.insert_canonical((i, i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), i as f64);
+        }
+        assert_eq!(cache.len(), 64);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_get_or_compute_is_consistent() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = FingerprintCache::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for i in 0..100u64 {
+                        let key = (i, i ^ 0xABCD);
+                        let v: Result<f64, ()> = cache.get_or_try_compute(key, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            Ok(i as f64 * 3.0)
+                        });
+                        assert_eq!(v, Ok(i as f64 * 3.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 100);
+        // Redundant computation is allowed (racing threads), but every observed
+        // value above was the canonical one.
+        assert!(computed.load(Ordering::Relaxed) >= 100);
+    }
+}

@@ -3,10 +3,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::approx::ApproxRule;
+use crate::cache::FingerprintCache;
 use crate::error::{Error, Result};
 use crate::exec::{execute, ExecTable, QueryResult};
 use crate::fingerprint::{predicate_fingerprint, query_fingerprint, rewrite_fingerprint};
@@ -108,9 +108,17 @@ pub struct Database {
     config: DbConfig,
     tables: HashMap<String, TableEntry>,
     planner: Planner,
-    time_cache: Mutex<HashMap<(u64, u64), f64>>,
-    selectivity_cache: Mutex<HashMap<(u64, u64), f64>>,
+    time_cache: FingerprintCache,
+    selectivity_cache: FingerprintCache,
 }
+
+// The serving layer shares one `Arc<Database>` across worker threads; keep that
+// contract visible at compile time (tables and planner are plain data, the two
+// caches synchronise internally).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+};
 
 impl Database {
     /// Creates an empty database with the given configuration.
@@ -120,8 +128,8 @@ impl Database {
             config,
             tables: HashMap::new(),
             planner,
-            time_cache: Mutex::new(HashMap::new()),
-            selectivity_cache: Mutex::new(HashMap::new()),
+            time_cache: FingerprintCache::new(),
+            selectivity_cache: FingerprintCache::new(),
         }
     }
 
@@ -131,8 +139,11 @@ impl Database {
     }
 
     /// Registers a fully loaded table (statistics are collected immediately).
-    pub fn register_table(&mut self, table: Table) {
-        let stats = TableStats::analyze(&table).expect("statistics collection cannot fail");
+    ///
+    /// Returns an error when statistics collection fails (e.g. a malformed column),
+    /// like its `build_index` / `build_sample` siblings, instead of panicking.
+    pub fn register_table(&mut self, table: Table) -> Result<()> {
+        let stats = TableStats::analyze(&table)?;
         let name = table.name().to_string();
         self.tables.insert(
             name,
@@ -146,6 +157,7 @@ impl Database {
                 indexed_columns: HashSet::new(),
             },
         );
+        Ok(())
     }
 
     /// Names of all registered tables.
@@ -318,48 +330,47 @@ impl Database {
     }
 
     /// The *true* selectivity of a single predicate on `table`, computed from indexes
-    /// when available (exact counts) and by scanning otherwise. Results are cached.
+    /// when available (exact counts) and by scanning otherwise. Results are cached
+    /// uniformly (including for empty tables) through a get-or-compute helper, so
+    /// concurrent workers asking for the same predicate never recompute it.
     pub fn true_selectivity(&self, table: &str, pred: &Predicate) -> Result<f64> {
         let entry = self.entry(table)?;
         let key = (
             query_fingerprint(&Query::select(table)),
             predicate_fingerprint(pred),
         );
-        if let Some(&cached) = self.selectivity_cache.lock().get(&key) {
-            return Ok(cached);
-        }
-        let rows = entry.table.row_count();
-        if rows == 0 {
-            return Ok(0.0);
-        }
-        let attr = pred.attr();
-        let count = match pred {
-            Predicate::KeywordContains { keyword, .. } => match entry.inverted.get(&attr) {
-                Some(index) => match entry.table.dictionary().lookup(keyword) {
-                    Some(token) => index.count(token),
-                    None => 0,
+        self.selectivity_cache.get_or_try_compute(key, || {
+            let rows = entry.table.row_count();
+            if rows == 0 {
+                return Ok(0.0);
+            }
+            let attr = pred.attr();
+            let count = match pred {
+                Predicate::KeywordContains { keyword, .. } => match entry.inverted.get(&attr) {
+                    Some(index) => match entry.table.dictionary().lookup(keyword) {
+                        Some(token) => index.count(token),
+                        None => 0,
+                    },
+                    None => self.scan_count(entry, pred)?,
                 },
-                None => self.scan_count(entry, pred)?,
-            },
-            Predicate::TimeRange { range, .. } => match entry.btree.get(&attr) {
-                Some(index) => index.range_count(range.start, range.end),
-                None => self.scan_count(entry, pred)?,
-            },
-            Predicate::NumericRange { range, .. } => match entry.btree.get(&attr) {
-                Some(index) => index.range_count(
-                    BPlusTree::float_key(range.lo),
-                    BPlusTree::float_key(range.hi),
-                ),
-                None => self.scan_count(entry, pred)?,
-            },
-            Predicate::SpatialRange { rect, .. } => match entry.rtree.get(&attr) {
-                Some(index) => index.range_count(rect),
-                None => self.scan_count(entry, pred)?,
-            },
-        };
-        let sel = count as f64 / rows as f64;
-        self.selectivity_cache.lock().insert(key, sel);
-        Ok(sel)
+                Predicate::TimeRange { range, .. } => match entry.btree.get(&attr) {
+                    Some(index) => index.range_count(range.start, range.end),
+                    None => self.scan_count(entry, pred)?,
+                },
+                Predicate::NumericRange { range, .. } => match entry.btree.get(&attr) {
+                    Some(index) => index.range_count(
+                        BPlusTree::float_key(range.lo),
+                        BPlusTree::float_key(range.hi),
+                    ),
+                    None => self.scan_count(entry, pred)?,
+                },
+                Predicate::SpatialRange { rect, .. } => match entry.rtree.get(&attr) {
+                    Some(index) => index.range_count(rect),
+                    None => self.scan_count(entry, pred)?,
+                },
+            };
+            Ok(count as f64 / rows as f64)
+        })
     }
 
     fn scan_count(&self, entry: &TableEntry, pred: &Predicate) -> Result<usize> {
@@ -411,14 +422,17 @@ impl Database {
     }
 
     /// Simulated execution time of `query` rewritten with `ro`, without materialising
-    /// results. Times are cached per (query, rewrite option).
+    /// results. Times are cached per (query, rewrite option); concurrent callers of
+    /// the same key all observe the canonical (first-cached) value.
     pub fn execution_time_ms(&self, query: &Query, ro: &RewriteOption) -> Result<f64> {
         let key = (query_fingerprint(query), rewrite_fingerprint(ro));
-        if let Some(&cached) = self.time_cache.lock().get(&key) {
+        if let Some(cached) = self.time_cache.get(key) {
             return Ok(cached);
         }
-        let outcome = self.run_inner(query, ro, false)?;
-        Ok(outcome.time_ms)
+        // `run_inner` performs the canonical insert itself (first insert wins and
+        // the returned outcome carries the canonical time), so no second insert —
+        // and no second key hash — is needed here.
+        Ok(self.run_inner(query, ro, false)?.time_ms)
     }
 
     fn run_inner(
@@ -457,8 +471,10 @@ impl Database {
         let time_ms =
             apply_profile_noise(base_ms, self.config.profile, &self.config.cost_params, fp);
 
+        // Keep whichever value was cached first so racing workers report one
+        // canonical time (the computation is deterministic, so they agree anyway).
         let key = (query_fingerprint(query), rewrite_fingerprint(ro));
-        self.time_cache.lock().insert(key, time_ms);
+        let time_ms = self.time_cache.insert_canonical(key, time_ms);
 
         Ok(RunOutcome {
             time_ms,
@@ -492,10 +508,17 @@ impl Database {
     }
 
     /// Clears the execution-time and selectivity caches (useful between experiments
-    /// that mutate cost parameters).
+    /// that mutate cost parameters, and between throughput runs that must each do
+    /// the same amount of work).
     pub fn clear_caches(&self) {
-        self.time_cache.lock().clear();
-        self.selectivity_cache.lock().clear();
+        self.time_cache.clear();
+        self.selectivity_cache.clear();
+    }
+
+    /// Number of entries in the (execution-time, selectivity) caches, for
+    /// observability and determinism assertions in tests.
+    pub fn cache_entry_counts(&self) -> (usize, usize) {
+        (self.time_cache.len(), self.selectivity_cache.len())
     }
 }
 
@@ -539,7 +562,7 @@ mod tests {
             });
         }
         let mut db = Database::new(DbConfig::default());
-        db.register_table(b.build());
+        db.register_table(b.build()).unwrap();
         db.build_index("tweets", "created_at").unwrap();
         db.build_index("tweets", "coordinates").unwrap();
         db.build_index("tweets", "text").unwrap();
@@ -703,10 +726,10 @@ mod tests {
         let table = b.build();
 
         let mut pg = Database::new(DbConfig::default());
-        pg.register_table(table.clone());
+        pg.register_table(table.clone()).unwrap();
         pg.build_all_indexes("t").unwrap();
         let mut com = Database::new(DbConfig::commercial());
-        com.register_table(table);
+        com.register_table(table).unwrap();
         com.build_all_indexes("t").unwrap();
 
         let q = Query::select("t")
@@ -734,7 +757,115 @@ mod tests {
         let ro = RewriteOption::original();
         let a = db.execution_time_ms(&q, &ro).unwrap();
         db.clear_caches();
+        assert_eq!(db.cache_entry_counts(), (0, 0));
         let b = db.execution_time_ms(&q, &ro).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn register_table_reports_success() {
+        let schema = TableSchema::new("empty").with_column("id", ColumnType::Int);
+        let table = TableBuilder::new(schema).build();
+        let mut db = Database::new(DbConfig::default());
+        assert!(db.register_table(table).is_ok());
+        assert_eq!(db.row_count("empty").unwrap(), 0);
+    }
+
+    /// The `rows == 0` early return used to skip the cache insert while the normal
+    /// path cached; both paths must now cache through the same helper.
+    #[test]
+    fn empty_table_selectivity_is_cached_like_any_other() {
+        let schema = TableSchema::new("empty").with_column("id", ColumnType::Int);
+        let mut db = Database::new(DbConfig::default());
+        db.register_table(TableBuilder::new(schema).build())
+            .unwrap();
+        let pred = Predicate::numeric_range(0, 0.0, 1.0);
+        assert_eq!(db.true_selectivity("empty", &pred).unwrap(), 0.0);
+        let (_, sel_entries) = db.cache_entry_counts();
+        assert_eq!(sel_entries, 1, "zero-row selectivity must be cached");
+        assert_eq!(db.true_selectivity("empty", &pred).unwrap(), 0.0);
+        assert_eq!(db.cache_entry_counts().1, 1);
+    }
+
+    /// Two heatmap viewports sharing one corner of the grid extent must not share
+    /// cached execution times (the original cache-poisoning bug).
+    #[test]
+    fn viewports_sharing_a_corner_do_not_share_cached_times() {
+        use crate::query::BinGrid;
+        let db = build_db();
+        let viewport = |rect: GeoRect| {
+            Query::select("tweets")
+                .filter(Predicate::keyword(3, "covid"))
+                .output(OutputKind::BinnedCounts {
+                    point_attr: 2,
+                    grid: BinGrid::new(rect, 16, 16),
+                })
+        };
+        // Same north-west corner (min_lon / max_lat), very different areas.
+        let small = viewport(GeoRect::new(-119.0, 33.5, -117.5, 34.5));
+        let zoomed_out = viewport(GeoRect::new(-119.0, 20.0, -70.0, 34.5));
+        let ro = RewriteOption::original();
+        let t_small = db.execution_time_ms(&small, &ro).unwrap();
+        let _ = db.execution_time_ms(&zoomed_out, &ro).unwrap();
+        let (time_entries, _) = db.cache_entry_counts();
+        assert_eq!(
+            time_entries, 2,
+            "each viewport must get its own cache entry"
+        );
+        // Re-asking for the small viewport must return its own time, not the
+        // zoomed-out one's.
+        assert_eq!(db.execution_time_ms(&small, &ro).unwrap(), t_small);
+    }
+
+    /// Concurrent workers sharing one database must observe identical cached times
+    /// and selectivities as a single-threaded run.
+    #[test]
+    fn concurrent_cache_access_matches_single_threaded() {
+        use std::sync::Arc;
+        let queries: Vec<Query> = (0..6)
+            .map(|i| {
+                Query::select("tweets")
+                    .filter(Predicate::keyword(3, "covid"))
+                    .filter(Predicate::time_range(1, 0, 60 * (500 + i * 300)))
+                    .output(OutputKind::Count)
+            })
+            .collect();
+        let ros: Vec<RewriteOption> = (0..4u32)
+            .map(|m| RewriteOption::hinted(HintSet::with_mask(m)))
+            .collect();
+
+        // Single-threaded reference run on a fresh database.
+        let reference = build_db();
+        let mut expected = Vec::new();
+        for q in &queries {
+            for ro in &ros {
+                expected.push(reference.execution_time_ms(q, ro).unwrap());
+            }
+        }
+
+        let db = Arc::new(build_db());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for q in &queries {
+                        for ro in &ros {
+                            db.execution_time_ms(q, ro).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        let mut observed = Vec::new();
+        for q in &queries {
+            for ro in &ros {
+                observed.push(db.execution_time_ms(q, ro).unwrap());
+            }
+        }
+        assert_eq!(expected, observed);
+        assert_eq!(
+            db.cache_entry_counts().0,
+            queries.len() * ros.len(),
+            "every (query, rewrite) pair must be cached exactly once"
+        );
     }
 }

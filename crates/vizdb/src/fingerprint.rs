@@ -123,19 +123,31 @@ pub fn query_fingerprint(query: &Query) -> u64 {
                 .write_u64(*point_attr as u64);
         }
         OutputKind::BinnedCounts { point_attr, grid } => {
+            // All four rect coordinates must participate: hashing only one corner
+            // made every viewport sharing that corner alias to one cache entry,
+            // poisoning the execution-time and selectivity caches.
             fp.write_u64(11)
                 .write_u64(*point_attr as u64)
                 .write_u64(grid.cols as u64)
                 .write_u64(grid.rows as u64)
                 .write_f64(grid.extent.min_lon)
+                .write_f64(grid.extent.min_lat)
+                .write_f64(grid.extent.max_lon)
                 .write_f64(grid.extent.max_lat);
         }
         OutputKind::Count => {
             fp.write_u64(12);
         }
     }
-    if let Some(limit) = query.limit {
-        fp.write_u64(limit as u64);
+    // Tag both branches so a `Some(limit)` write can never be confused with any
+    // untagged neighbouring field (and present/absent streams always differ).
+    match query.limit {
+        Some(limit) => {
+            fp.write_u64(20).write_u64(limit as u64);
+        }
+        None => {
+            fp.write_u64(21);
+        }
     }
     fp.finish()
 }
@@ -237,6 +249,60 @@ mod tests {
         ];
         let unique: std::collections::HashSet<_> = fps.iter().collect();
         assert_eq!(unique.len(), 4);
+    }
+
+    /// Regression test for the cache-poisoning collision: two heatmap viewports
+    /// sharing only the north-west corner (`min_lon` / `max_lat`) used to hash
+    /// identically because the other two rect coordinates were never written.
+    #[test]
+    fn binned_counts_extent_corners_all_affect_fingerprint() {
+        use crate::query::{BinGrid, OutputKind};
+        let grid = |rect: GeoRect| {
+            Query::select("tweets").output(OutputKind::BinnedCounts {
+                point_attr: 2,
+                grid: BinGrid::new(rect, 64, 64),
+            })
+        };
+        let base = grid(GeoRect::new(-120.0, 30.0, -110.0, 40.0));
+        // Same min_lon and max_lat as `base`, different max_lon / min_lat: a
+        // zoomed-out viewport anchored at the same corner.
+        let shares_corner = grid(GeoRect::new(-120.0, 25.0, -100.0, 40.0));
+        assert_ne!(
+            query_fingerprint(&base),
+            query_fingerprint(&shares_corner),
+            "viewports sharing one corner must not share a fingerprint"
+        );
+        // Every single-coordinate perturbation must change the fingerprint.
+        for rect in [
+            GeoRect::new(-121.0, 30.0, -110.0, 40.0),
+            GeoRect::new(-120.0, 29.0, -110.0, 40.0),
+            GeoRect::new(-120.0, 30.0, -109.0, 40.0),
+            GeoRect::new(-120.0, 30.0, -110.0, 41.0),
+        ] {
+            assert_ne!(query_fingerprint(&base), query_fingerprint(&grid(rect)));
+        }
+    }
+
+    /// Regression test for the untagged LIMIT write: the limit must be framed by
+    /// its own field tag so its raw value can never alias an adjacent untagged
+    /// field, and presence/absence must always be distinguished.
+    #[test]
+    fn limit_is_tagged_and_distinguished() {
+        let base = query_a();
+        let limited = query_a().limit(12);
+        assert_ne!(query_fingerprint(&base), query_fingerprint(&limited));
+        // A limit equal to an output-kind tag value must not collapse into it:
+        // `Count` output is tag 12, so limit 12 is the adversarial value.
+        let count_no_limit = Query::select("t");
+        let count_limit_12 = Query::select("t").limit(12);
+        let count_limit_20 = Query::select("t").limit(20);
+        let fps = [
+            query_fingerprint(&count_no_limit),
+            query_fingerprint(&count_limit_12),
+            query_fingerprint(&count_limit_20),
+        ];
+        let unique: std::collections::HashSet<_> = fps.iter().collect();
+        assert_eq!(unique.len(), 3, "limit presence and value must both matter");
     }
 
     #[test]

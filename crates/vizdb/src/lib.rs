@@ -31,7 +31,7 @@
 //!     });
 //! }
 //! let mut db = Database::new(DbConfig::default());
-//! db.register_table(builder.build());
+//! db.register_table(builder.build()).unwrap();
 //! db.build_all_indexes("tweets").unwrap();
 //!
 //! let query = Query::select("tweets")
@@ -44,6 +44,7 @@
 //! ```
 
 pub mod approx;
+pub mod cache;
 pub mod db;
 pub mod error;
 pub mod exec;
@@ -59,5 +60,6 @@ pub mod storage;
 pub mod timing;
 pub mod types;
 
+pub use cache::FingerprintCache;
 pub use db::{Database, DbConfig, DbProfile, RunOutcome};
 pub use error::{Error, Result};

@@ -82,7 +82,7 @@ pub fn build_nyctaxi_with_config(scale: DatasetScale, seed: u64, mut config: DbC
     }
 
     let mut db = Database::new(config);
-    db.register_table(builder.build());
+    db.register_table(builder.build()).unwrap();
     for column in ["pickup_datetime", "trip_distance", "pickup_coordinates"] {
         db.build_index("trips", column).unwrap();
     }

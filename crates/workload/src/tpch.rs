@@ -81,7 +81,7 @@ pub fn build_tpch_with_config(scale: DatasetScale, seed: u64, mut config: DbConf
     }
 
     let mut db = Database::new(config);
-    db.register_table(builder.build());
+    db.register_table(builder.build()).unwrap();
     for column in ["extended_price", "ship_date", "receipt_date"] {
         db.build_index("lineitem", column).unwrap();
     }

@@ -114,8 +114,10 @@ pub fn build_twitter_with_config(scale: DatasetScale, seed: u64, mut config: DbC
     }
 
     let mut db = Database::new(config);
-    db.register_table(builder.build());
-    db.register_table(users.build());
+    db.register_table(builder.build())
+        .expect("fact-table statistics");
+    db.register_table(users.build())
+        .expect("dimension-table statistics");
     for column in [
         "created_at",
         "coordinates",

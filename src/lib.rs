@@ -12,12 +12,14 @@
 //! * [`maliva_quality`] — visualization quality functions;
 //! * [`maliva`] — the MDP-based query rewriter (the paper's contribution);
 //! * [`maliva_baselines`] — the Baseline / Naive / Bao comparators;
-//! * [`maliva_workload`] — synthetic datasets and query workload generators.
+//! * [`maliva_workload`] — synthetic datasets and query workload generators;
+//! * [`maliva_serve`] — the concurrent, decision-cache-fronted serving layer.
 
 pub use maliva;
 pub use maliva_baselines;
 pub use maliva_nn;
 pub use maliva_qte;
 pub use maliva_quality;
+pub use maliva_serve;
 pub use maliva_workload;
 pub use vizdb;
