@@ -29,7 +29,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vizdb::error::Result;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 /// Configuration of the Bao-style rewriter.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +61,7 @@ impl Default for BaoConfig {
 
 /// The Bao-style learned rewriter.
 pub struct BaoRewriter {
-    db: Arc<Database>,
+    db: Arc<dyn QueryBackend>,
     config: BaoConfig,
     ensemble: Vec<LinearModel>,
     space_builder: Box<dyn Fn(&Query) -> RewriteSpace + Send + Sync>,
@@ -70,13 +70,13 @@ pub struct BaoRewriter {
 impl BaoRewriter {
     /// Trains the Bao-style model on a workload of training queries, using the
     /// hint-only rewrite space.
-    pub fn train(db: Arc<Database>, training: &[Query], config: BaoConfig) -> Result<Self> {
+    pub fn train(db: Arc<dyn QueryBackend>, training: &[Query], config: BaoConfig) -> Result<Self> {
         Self::train_with_space(db, training, config, Box::new(RewriteSpace::hints_only))
     }
 
     /// Trains the model over a custom rewrite space.
     pub fn train_with_space(
-        db: Arc<Database>,
+        db: Arc<dyn QueryBackend>,
         training: &[Query],
         config: BaoConfig,
         space_builder: Box<dyn Fn(&Query) -> RewriteSpace + Send + Sync>,
@@ -122,7 +122,7 @@ impl BaoRewriter {
     /// computed from the backend's *estimated* selectivities (this is where the
     /// backend's estimation errors leak into Bao's model).
     fn featurise(
-        db: &Database,
+        db: &dyn QueryBackend,
         query: &Query,
         ro: &vizdb::hints::RewriteOption,
     ) -> Result<Vec<f64>> {
@@ -197,7 +197,7 @@ mod tests {
     use vizdb::schema::{ColumnType, TableSchema};
     use vizdb::storage::TableBuilder;
     use vizdb::types::GeoRect;
-    use vizdb::DbConfig;
+    use vizdb::{Database, DbConfig};
 
     /// A table where numeric estimates are accurate but spatial estimates are not.
     fn build_db() -> Arc<Database> {

@@ -38,6 +38,7 @@ fn bench_serving(c: &mut Criterion) {
                 workers,
                 default_tau_ms: 500.0,
                 cache,
+                ..ServeConfig::default()
             },
         )
     };

@@ -6,8 +6,10 @@
 //! [`crate::harness::scale_from_env`]).
 
 pub mod serve;
+pub mod shard;
 
 pub use serve::run_serve_throughput;
+pub use shard::run_shard_scaling;
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -692,7 +694,7 @@ pub fn run_fig21() -> Vec<ExperimentOutput> {
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve",
+        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve", "shard",
     ]
 }
 
@@ -711,6 +713,7 @@ pub fn run_experiment(id: &str) -> Vec<ExperimentOutput> {
         "fig20" => run_fig20(),
         "fig21" => run_fig21(),
         "serve" => run_serve_throughput(),
+        "shard" => run_shard_scaling(),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -741,6 +744,10 @@ pub fn experiment_descriptions() -> BTreeMap<&'static str, &'static str> {
         (
             "serve",
             "Serving throughput/latency at 1/2/4/8 workers + decision-cache ablation",
+        ),
+        (
+            "shard",
+            "Per-region shard scaling at 1/2/4/8 shards (speedup + result equivalence)",
         ),
     ])
 }

@@ -54,6 +54,7 @@ fn make_server(sc: &Scenario, agent: &Arc<QAgent>, workers: usize, cache: bool) 
             } else {
                 DecisionCacheConfig::disabled()
             },
+            ..ServeConfig::default()
         },
     )
 }

@@ -5,7 +5,7 @@ use maliva_qte::{EstimationContext, QueryTimeEstimator};
 use vizdb::error::Result;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::mdp::reward::RewardSpec;
 use crate::mdp::state::MdpState;
@@ -75,7 +75,7 @@ pub struct FinalOutcome {
 
 /// The environment an MDP agent interacts with while planning one query.
 pub struct PlanningEnv<'a> {
-    db: &'a Database,
+    db: &'a dyn QueryBackend,
     qte: &'a dyn QueryTimeEstimator,
     query: &'a Query,
     space: &'a RewriteSpace,
@@ -90,7 +90,7 @@ pub struct PlanningEnv<'a> {
 impl<'a> PlanningEnv<'a> {
     /// Creates the environment and its initial state (paper: `s = (0, C₁…Cₙ, 0…0)`).
     pub fn new(
-        db: &'a Database,
+        db: &'a dyn QueryBackend,
         qte: &'a dyn QueryTimeEstimator,
         query: &'a Query,
         space: &'a RewriteSpace,
@@ -105,7 +105,7 @@ impl<'a> PlanningEnv<'a> {
     /// already spent by the first stage).
     #[allow(clippy::too_many_arguments)]
     pub fn with_initial_elapsed(
-        db: &'a Database,
+        db: &'a dyn QueryBackend,
         qte: &'a dyn QueryTimeEstimator,
         query: &'a Query,
         space: &'a RewriteSpace,

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use vizdb::error::Result;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::rewriter::QueryRewriter;
 
@@ -64,7 +64,7 @@ impl WorkloadMetrics {
 /// budget `tau_ms`.
 pub fn evaluate_workload(
     rewriter: &dyn QueryRewriter,
-    db: &Database,
+    db: &dyn QueryBackend,
     workload: &[Query],
     tau_ms: f64,
 ) -> Result<WorkloadMetrics> {
@@ -89,7 +89,7 @@ pub fn evaluate_workload(
 /// by `edges` as inclusive ranges (e.g. `[(1,1), (2,2), (3,3), (4,4)]` or
 /// `[(1,2), (3,4), (5,6), (7,8)]`).
 pub fn bucket_by_viable_plans(
-    db: &Database,
+    db: &dyn QueryBackend,
     workload: &[Query],
     tau_ms: f64,
     edges: &[(usize, usize)],
@@ -114,7 +114,7 @@ pub fn bucket_by_viable_plans(
 
 /// Counts queries per viable-plan count (used to reproduce Table 2 / Table 3).
 pub fn viable_plan_histogram(
-    db: &Database,
+    db: &dyn QueryBackend,
     workload: &[Query],
     tau_ms: f64,
 ) -> Result<BTreeMap<usize, usize>> {

@@ -14,7 +14,7 @@ use rand_chacha::ChaCha8Rng;
 use vizdb::approx::ApproxRule;
 use vizdb::error::Result;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::agent::{EpsilonSchedule, Experience, QAgent, ReplayMemory};
 use crate::config::MalivaConfig;
@@ -39,7 +39,7 @@ pub enum QualityAwareMode {
 /// A quality-aware rewriter (one-stage or two-stage).
 pub struct QualityAwareRewriter {
     name: String,
-    db: Arc<Database>,
+    db: Arc<dyn QueryBackend>,
     qte: Arc<dyn QueryTimeEstimator>,
     mode: QualityAwareMode,
     tau_ms: f64,
@@ -55,7 +55,7 @@ impl QualityAwareRewriter {
     /// `rules` is the approximation-rule set (e.g. the paper's five LIMIT rules);
     /// `config.beta` weights efficiency against quality in the Eq. 2 reward.
     pub fn train(
-        db: Arc<Database>,
+        db: Arc<dyn QueryBackend>,
         qte: Arc<dyn QueryTimeEstimator>,
         training: &[Query],
         rules: Vec<ApproxRule>,
@@ -223,7 +223,7 @@ impl QueryRewriter for QualityAwareRewriter {
 /// starting every episode from the planning time the first stage already spent
 /// (mirrors Algorithm 1 with a non-zero initial elapsed time).
 fn train_quality_agent_with_elapsed(
-    db: &Arc<Database>,
+    db: &dyn QueryBackend,
     qte: &dyn QueryTimeEstimator,
     workload: &[(Query, f64)],
     rules: &[ApproxRule],

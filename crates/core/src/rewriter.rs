@@ -7,7 +7,7 @@ use maliva_qte::QueryTimeEstimator;
 use vizdb::error::Result;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::agent::QAgent;
 use crate::online::plan_online;
@@ -38,7 +38,7 @@ pub trait QueryRewriter: Send + Sync {
 /// The MDP-based rewriter: a trained Q-network agent driving a QTE (paper §5.2).
 pub struct MalivaRewriter {
     name: String,
-    db: Arc<Database>,
+    db: Arc<dyn QueryBackend>,
     qte: Arc<dyn QueryTimeEstimator>,
     agent: QAgent,
     space_builder: Box<SpaceBuilder>,
@@ -57,7 +57,7 @@ impl MalivaRewriter {
     /// Creates a rewriter from a trained agent.
     pub fn new(
         name: impl Into<String>,
-        db: Arc<Database>,
+        db: Arc<dyn QueryBackend>,
         qte: Arc<dyn QueryTimeEstimator>,
         agent: QAgent,
         space_builder: Box<SpaceBuilder>,

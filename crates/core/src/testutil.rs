@@ -7,7 +7,7 @@ use vizdb::query::{JoinSpec, OutputKind, Predicate, Query};
 use vizdb::schema::{ColumnType, TableSchema};
 use vizdb::storage::TableBuilder;
 use vizdb::types::GeoRect;
-use vizdb::{Database, DbConfig};
+use vizdb::{Database, DbConfig, QueryBackend, ShardedBackendBuilder};
 
 /// Builds a 6 000-row tweets table plus a 200-row users table with skewed text and
 /// spatial distributions, all indexes, and 1% / 20% samples.
@@ -76,6 +76,22 @@ pub fn tiny_db_with_config(config: DbConfig) -> Arc<Database> {
     db.build_sample("tweets", 80).unwrap();
     db.build_sample("users", 1).unwrap();
     Arc::new(db)
+}
+
+/// The fixture database behind the [`QueryBackend`] trait object every layer above
+/// `vizdb` consumes.
+#[allow(dead_code)]
+pub fn tiny_backend() -> Arc<dyn QueryBackend> {
+    tiny_db()
+}
+
+/// A per-region sharded mirror of the fixture database (same tables, indexes and
+/// samples, longitude-partitioned into `shards` regions).
+#[allow(dead_code)]
+pub fn tiny_sharded_backend(shards: usize) -> Arc<dyn QueryBackend> {
+    Arc::new(
+        ShardedBackendBuilder::mirror(&tiny_db(), shards).expect("mirroring the fixture database"),
+    )
 }
 
 /// A deterministic query generator over the fixture table: varies keyword rarity, time

@@ -1,7 +1,5 @@
 //! Offline training of the MDP agent (paper Algorithm 1).
 
-use std::sync::Arc;
-
 use maliva_nn::Adam;
 use maliva_qte::QueryTimeEstimator;
 use rand::seq::SliceRandom;
@@ -10,7 +8,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vizdb::error::Result;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::agent::{EpsilonSchedule, Experience, QAgent, ReplayMemory};
 use crate::config::MalivaConfig;
@@ -69,7 +67,7 @@ pub type SpaceBuilder = dyn Fn(&Query) -> RewriteSpace + Send + Sync;
 /// The rewrite space of every query must have the same size (the Q-network output
 /// dimensionality); this is checked at runtime.
 pub fn train_agent(
-    db: &Arc<Database>,
+    db: &dyn QueryBackend,
     qte: &dyn QueryTimeEstimator,
     workload: &[Query],
     space_builder: &SpaceBuilder,

@@ -12,14 +12,14 @@ use std::sync::Arc;
 use vizdb::error::Result;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::context::EstimationContext;
 use crate::traits::{needed_slots, EstimateReport, QueryTimeEstimator};
 
 /// Oracle query-time estimator with a per-selectivity unit cost.
 pub struct AccurateQte {
-    db: Arc<Database>,
+    db: Arc<dyn QueryBackend>,
     unit_cost_ms: f64,
     overhead_ms: f64,
 }
@@ -29,13 +29,13 @@ impl AccurateQte {
     pub const DEFAULT_UNIT_COST_MS: f64 = 40.0;
 
     /// Creates an accurate QTE over `db` with the paper's default unit cost.
-    pub fn new(db: Arc<Database>) -> Self {
+    pub fn new(db: Arc<dyn QueryBackend>) -> Self {
         Self::with_unit_cost(db, Self::DEFAULT_UNIT_COST_MS)
     }
 
     /// Creates an accurate QTE with a custom unit cost (used by §7.8, which varies it
     /// between 50 ms and 100 ms).
-    pub fn with_unit_cost(db: Arc<Database>, unit_cost_ms: f64) -> Self {
+    pub fn with_unit_cost(db: Arc<dyn QueryBackend>, unit_cost_ms: f64) -> Self {
         Self {
             db,
             unit_cost_ms,
@@ -108,7 +108,7 @@ mod tests {
     use vizdb::schema::{ColumnType, TableSchema};
     use vizdb::storage::TableBuilder;
     use vizdb::types::GeoRect;
-    use vizdb::DbConfig;
+    use vizdb::{Database, DbConfig};
 
     fn build_db() -> Arc<Database> {
         let schema = TableSchema::new("tweets")

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use vizdb::error::Result;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::QueryBackend;
 
 use crate::context::EstimationContext;
 use crate::features::plan_features;
@@ -45,14 +45,14 @@ impl Default for ApproximateQteConfig {
 
 /// Sampling-based query-time estimator with a learned linear cost model.
 pub struct ApproximateQte {
-    db: Arc<Database>,
+    db: Arc<dyn QueryBackend>,
     config: ApproximateQteConfig,
     model: LinearModel,
 }
 
 impl ApproximateQte {
     /// Creates an *untrained* estimator (predictions are 0 until [`Self::fit`] runs).
-    pub fn new(db: Arc<Database>, config: ApproximateQteConfig) -> Self {
+    pub fn new(db: Arc<dyn QueryBackend>, config: ApproximateQteConfig) -> Self {
         Self {
             db,
             config,
@@ -64,7 +64,7 @@ impl ApproximateQte {
     /// option)` pair contributes one regression sample whose target is the true
     /// execution time.
     pub fn fit(
-        db: Arc<Database>,
+        db: Arc<dyn QueryBackend>,
         config: ApproximateQteConfig,
         training: &[(Query, Vec<RewriteOption>)],
     ) -> Result<Self> {
@@ -97,8 +97,7 @@ impl ApproximateQte {
     /// Rows scanned by one selectivity probe (the size of the probe sample table).
     fn probe_rows(&self, table: &str) -> usize {
         self.db
-            .sample(table, self.config.sample_pct)
-            .map(|s| s.len())
+            .sample_len(table, self.config.sample_pct)
             .unwrap_or(0)
     }
 
@@ -233,7 +232,7 @@ mod tests {
     use vizdb::schema::{ColumnType, TableSchema};
     use vizdb::storage::TableBuilder;
     use vizdb::types::GeoRect;
-    use vizdb::DbConfig;
+    use vizdb::{Database, DbConfig};
 
     fn build_db(profile_commercial: bool) -> Arc<Database> {
         let schema = TableSchema::new("tweets")

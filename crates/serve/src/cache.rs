@@ -8,6 +8,17 @@
 //! is greedy over a fixed agent and a deterministic simulated database — so
 //! whichever worker plans a key first installs exactly the value every other
 //! worker would have computed, and hit/miss races cannot change served results.
+//!
+//! Two mechanisms keep the cache honest:
+//!
+//! * **LRU eviction** (touch-on-hit): when a shard reaches its capacity bound,
+//!   the least-recently-*used* entry goes, so the hot viewports a map frontend
+//!   keeps re-requesting survive a long tail of one-off queries.
+//! * **Generation tagging**: every entry records the backend catalog generation
+//!   it was planned under ([`vizdb::QueryBackend::generation`]). A lookup under a
+//!   newer generation treats the entry as stale — it is dropped and the lookup
+//!   misses — so a table registered or an index built mid-serve can never cause
+//!   a stale decision to be returned.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,6 +92,8 @@ pub struct DecisionCacheStats {
     pub evictions: u64,
     /// Entries inserted (first-wins; re-inserts of a present key don't count).
     pub insertions: u64,
+    /// Entries dropped because their catalog generation was stale.
+    pub stale_drops: u64,
     /// Entries currently cached.
     pub entries: usize,
 }
@@ -97,11 +110,56 @@ impl DecisionCacheStats {
     }
 }
 
-/// One lock shard: the map plus FIFO insertion order for eviction.
+/// One cached entry: the decision, the catalog generation it was planned under,
+/// and its most recent use stamp (for LRU eviction).
+struct Entry {
+    decision: CachedDecision,
+    generation: u64,
+    stamp: u64,
+}
+
+/// One lock shard. `order` is a lazy-deletion recency queue: every touch pushes a
+/// fresh `(key, stamp)` pair and bumps the entry's stamp, so older pairs for the
+/// same key no longer match and are skipped (and discarded) during eviction. The
+/// queue is compacted once it grows well past the live-entry count.
 #[derive(Default)]
 struct Shard {
-    map: HashMap<(u64, u64), CachedDecision>,
-    order: VecDeque<(u64, u64)>,
+    map: HashMap<(u64, u64), Entry>,
+    order: VecDeque<((u64, u64), u64)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: (u64, u64)) {
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.stamp = stamp;
+        }
+        self.order.push_back((key, stamp));
+    }
+
+    /// Removes the least-recently-used live entry. Returns whether one was evicted.
+    fn evict_lru(&mut self) -> bool {
+        while let Some((key, stamp)) = self.order.pop_front() {
+            let live = matches!(self.map.get(&key), Some(entry) if entry.stamp == stamp);
+            if live {
+                self.map.remove(&key);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops dead recency pairs once they outnumber live entries substantially
+    /// (keeps the queue within a constant factor of the map).
+    fn maybe_compact(&mut self) {
+        if self.order.len() > self.map.len() * 2 + 8 {
+            let map = &self.map;
+            self.order
+                .retain(|(key, stamp)| matches!(map.get(key), Some(e) if e.stamp == *stamp));
+        }
+    }
 }
 
 /// A bounded, sharded map from (query fingerprint, τ-bucket) to planning
@@ -114,6 +172,7 @@ pub struct DecisionCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    stale_drops: AtomicU64,
 }
 
 impl DecisionCache {
@@ -129,6 +188,7 @@ impl DecisionCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
         }
     }
 
@@ -157,35 +217,80 @@ impl DecisionCache {
         &self.shards[(key.0 ^ key.1) as usize & (SHARDS - 1)]
     }
 
-    /// Looks `key` up, updating the hit/miss counters.
-    pub fn get(&self, key: (u64, u64)) -> Option<CachedDecision> {
-        let found = self.shard(key).lock().map.get(&key).cloned();
+    /// Looks `key` up, updating the hit/miss counters. A hit refreshes the
+    /// entry's recency (LRU). An entry planned under an older catalog generation
+    /// is dropped and the lookup misses.
+    ///
+    /// `generation` is a *supplier* of the backend's current generation, called
+    /// only once an entry is found and *after* the entry is retrieved — reading
+    /// it up front would leave a window where a catalog mutation lands between
+    /// the read and the lookup and a stale decision is served anyway. Evaluated
+    /// lazily, serving a cached decision exposes exactly the same
+    /// mutation-between-plan-and-run window as planning from scratch, no more.
+    pub fn get(&self, key: (u64, u64), generation: impl FnOnce() -> u64) -> Option<CachedDecision> {
+        let mut shard = self.shard(key).lock();
+        let found = match shard.map.get(&key) {
+            Some(entry) if entry.generation == generation() => Some(entry.decision.clone()),
+            Some(_) => {
+                shard.map.remove(&key);
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        };
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                shard.touch(key);
+                shard.maybe_compact();
+                self.hits.fetch_add(1, Ordering::Relaxed)
+            }
             None => self.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
     }
 
-    /// Inserts a decision unless the key is already present (first insert wins,
-    /// mirroring the database caches), evicting the oldest entry of the shard
-    /// when the capacity bound is hit. Returns the canonical cached decision.
-    pub fn insert(&self, key: (u64, u64), decision: CachedDecision) -> CachedDecision {
+    /// Inserts a decision planned under `generation` unless the key is already
+    /// present at that generation (first insert wins, mirroring the database
+    /// caches; a stale entry is overwritten), evicting the least-recently-used
+    /// entry of the shard when the capacity bound is hit. Returns the canonical
+    /// cached decision.
+    pub fn insert(
+        &self,
+        key: (u64, u64),
+        decision: CachedDecision,
+        generation: u64,
+    ) -> CachedDecision {
         if self.shard_capacity == 0 {
             return decision;
         }
         let mut shard = self.shard(key).lock();
-        if let Some(existing) = shard.map.get(&key) {
-            return existing.clone();
-        }
-        if shard.map.len() >= self.shard_capacity {
-            if let Some(oldest) = shard.order.pop_front() {
-                shard.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        match shard.map.get(&key) {
+            // Generations increase monotonically: an entry at the same or a
+            // *newer* generation than the inserter's snapshot wins (a slow
+            // planner that read the catalog before a mutation must not clobber
+            // the fresher entry a faster worker installed after it).
+            Some(existing) if existing.generation >= generation => {
+                return existing.decision.clone()
             }
+            Some(_) => {
+                shard.map.remove(&key);
+                self.stale_drops.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
         }
-        shard.map.insert(key, decision.clone());
-        shard.order.push_back(key);
+        if shard.map.len() >= self.shard_capacity && shard.evict_lru() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                decision: decision.clone(),
+                generation,
+                stamp: 0,
+            },
+        );
+        shard.touch(key);
+        shard.maybe_compact();
         self.insertions.fetch_add(1, Ordering::Relaxed);
         decision
     }
@@ -197,6 +302,7 @@ impl DecisionCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
         }
     }
@@ -217,6 +323,9 @@ mod tests {
     use vizdb::hints::HintSet;
     use vizdb::query::Predicate;
 
+    /// Catalog generation used by tests that don't exercise invalidation.
+    const GEN: u64 = 7;
+
     fn decision(i: usize) -> CachedDecision {
         CachedDecision {
             chosen_index: i,
@@ -233,9 +342,9 @@ mod tests {
     fn get_after_insert_hits() {
         let cache = DecisionCache::new(DecisionCacheConfig::default());
         let key = cache.key(&query(1), 500.0);
-        assert!(cache.get(key).is_none());
-        cache.insert(key, decision(3));
-        let hit = cache.get(key).expect("cached");
+        assert!(cache.get(key, || GEN).is_none());
+        cache.insert(key, decision(3), GEN);
+        let hit = cache.get(key, || GEN).expect("cached");
         assert_eq!(hit.chosen_index, 3);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
@@ -267,20 +376,20 @@ mod tests {
     fn first_insert_wins() {
         let cache = DecisionCache::new(DecisionCacheConfig::default());
         let key = cache.key(&query(1), 500.0);
-        cache.insert(key, decision(1));
-        let canonical = cache.insert(key, decision(2));
+        cache.insert(key, decision(1), GEN);
+        let canonical = cache.insert(key, decision(2), GEN);
         assert_eq!(canonical.chosen_index, 1);
         assert_eq!(cache.stats().insertions, 1);
     }
 
     #[test]
-    fn capacity_bound_evicts_fifo() {
+    fn capacity_bound_evicts() {
         let cache = DecisionCache::new(DecisionCacheConfig {
             capacity: 8, // one entry per shard
             tau_bucket_ms: 0.0,
         });
         for i in 0..64u64 {
-            cache.insert(cache.key(&query(i), 500.0), decision(i as usize));
+            cache.insert(cache.key(&query(i), 500.0), decision(i as usize), GEN);
         }
         let stats = cache.stats();
         assert!(
@@ -291,12 +400,101 @@ mod tests {
         assert_eq!(stats.evictions, stats.insertions - stats.entries as u64);
     }
 
+    /// The LRU satellite: with a per-shard capacity of 2, FIFO would evict the
+    /// oldest-inserted entry; touching it on a hit must make the *untouched*
+    /// entry the victim instead.
+    #[test]
+    fn touch_on_hit_survives_where_fifo_would_evict() {
+        let cache = DecisionCache::new(DecisionCacheConfig {
+            capacity: 16, // two entries per shard
+            tau_bucket_ms: 0.0,
+        });
+        // Find three distinct queries whose keys land in the same shard.
+        let probe = cache.key(&query(0), 500.0);
+        let shard_of = |key: (u64, u64)| (key.0 ^ key.1) as usize & (super::SHARDS - 1);
+        let mut same_shard = vec![probe];
+        let mut i = 1u64;
+        while same_shard.len() < 3 {
+            let key = cache.key(&query(i), 500.0);
+            if shard_of(key) == shard_of(probe) {
+                same_shard.push(key);
+            }
+            i += 1;
+        }
+        let (a, b, c) = (same_shard[0], same_shard[1], same_shard[2]);
+        cache.insert(a, decision(1), GEN); // oldest inserted
+        cache.insert(b, decision(2), GEN);
+        assert!(cache.get(a, || GEN).is_some()); // touch a → b is now LRU
+        cache.insert(c, decision(3), GEN); // shard full: evicts LRU
+        assert!(
+            cache.get(a, || GEN).is_some(),
+            "a re-touched entry must survive the eviction FIFO would have hit it with"
+        );
+        assert!(
+            cache.get(b, || GEN).is_none(),
+            "the untouched entry is the LRU victim"
+        );
+        assert!(cache.get(c, || GEN).is_some());
+    }
+
+    /// The invalidation satellite (cache half): a lookup under a newer catalog
+    /// generation must drop the entry and miss instead of returning it.
+    #[test]
+    fn stale_generation_entries_are_dropped_on_lookup() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(1), GEN);
+        assert!(cache.get(key, || GEN).is_some());
+        assert!(
+            cache.get(key, || GEN + 1).is_none(),
+            "an entry planned under an older generation must not be served"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.stale_drops, 1);
+        assert_eq!(stats.entries, 0);
+        // Re-inserting under the new generation works and hits again.
+        cache.insert(key, decision(2), GEN + 1);
+        assert_eq!(cache.get(key, || GEN + 1).unwrap().chosen_index, 2);
+    }
+
+    /// A stale entry is also replaced (not first-wins-kept) on insert.
+    #[test]
+    fn insert_overwrites_stale_generations() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(1), GEN);
+        let canonical = cache.insert(key, decision(2), GEN + 1);
+        assert_eq!(canonical.chosen_index, 2);
+        assert_eq!(cache.get(key, || GEN + 1).unwrap().chosen_index, 2);
+    }
+
+    /// The reverse race: a slow planner whose generation snapshot predates a
+    /// catalog mutation must not clobber the fresher entry a faster worker
+    /// installed — the newer-generation entry wins and is returned as canonical.
+    #[test]
+    fn insert_with_an_older_generation_keeps_the_fresher_entry() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(2), GEN + 1); // fast worker, post-mutation
+        let canonical = cache.insert(key, decision(1), GEN); // slow pre-mutation planner
+        assert_eq!(
+            canonical.chosen_index, 2,
+            "the fresher decision is canonical"
+        );
+        assert_eq!(cache.get(key, || GEN + 1).unwrap().chosen_index, 2);
+        assert_eq!(
+            cache.stats().stale_drops,
+            0,
+            "a fresh entry must not be counted as a stale drop"
+        );
+    }
+
     #[test]
     fn zero_capacity_disables_caching() {
         let cache = DecisionCache::new(DecisionCacheConfig::disabled());
         let key = cache.key(&query(1), 500.0);
-        cache.insert(key, decision(1));
-        assert!(cache.get(key).is_none());
+        cache.insert(key, decision(1), GEN);
+        assert!(cache.get(key, || GEN).is_none());
         assert_eq!(cache.stats().entries, 0);
     }
 
@@ -304,12 +502,32 @@ mod tests {
     fn clear_preserves_counters() {
         let cache = DecisionCache::new(DecisionCacheConfig::default());
         let key = cache.key(&query(1), 500.0);
-        cache.insert(key, decision(1));
-        let _ = cache.get(key);
+        cache.insert(key, decision(1), GEN);
+        let _ = cache.get(key, || GEN);
         cache.clear();
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.hits, 1);
-        assert!(cache.get(key).is_none());
+        assert!(cache.get(key, || GEN).is_none());
+    }
+
+    /// The recency queue must stay within a constant factor of the live entries
+    /// even under a pure hit workload (compaction).
+    #[test]
+    fn recency_queue_stays_bounded_under_hits() {
+        let cache = DecisionCache::new(DecisionCacheConfig {
+            capacity: 8,
+            tau_bucket_ms: 0.0,
+        });
+        let key = cache.key(&query(1), 500.0);
+        cache.insert(key, decision(1), GEN);
+        for _ in 0..10_000 {
+            let _ = cache.get(key, || GEN);
+        }
+        let order_len = cache.shard(key).lock().order.len();
+        assert!(
+            order_len <= 16,
+            "recency queue grew to {order_len} entries for 1 live key"
+        );
     }
 }

@@ -5,16 +5,26 @@
 //! answers each within the budget by rewriting the query before execution. This
 //! crate adds the serving machinery that the core reproduction leaves out:
 //!
-//! * [`MalivaServer`] shares one `Arc<vizdb::Database>`, one trained
-//!   [`maliva::QAgent`] and one [`maliva_qte::QueryTimeEstimator`] across
-//!   `std::thread::scope` worker threads that drain a request queue through
-//!   [`maliva::plan_online`] + [`vizdb::Database::run`];
-//! * [`DecisionCache`] fronts planning with a bounded, sharded map keyed by the
-//!   corrected query fingerprint and a τ-bucket, with hit/miss/eviction
-//!   counters, so repeated viewport queries skip re-planning entirely;
+//! * [`MalivaServer`] shares one `Arc<dyn vizdb::QueryBackend>` — a plain
+//!   [`vizdb::Database`], a lock-wrapped [`vizdb::SharedBackend`], or a
+//!   per-region [`vizdb::ShardedBackend`] (the [`ServeConfig::shards`] knob, see
+//!   [`backend_for_shards`]) — one trained [`maliva::QAgent`] and one
+//!   [`maliva_qte::QueryTimeEstimator`] across `std::thread::scope` worker
+//!   threads that drain a request queue through [`maliva::plan_online`] +
+//!   [`vizdb::QueryBackend::run`];
+//! * [`DecisionCache`] fronts planning with a bounded, sharded, LRU
+//!   (touch-on-hit) map keyed by the corrected query fingerprint and a τ-bucket,
+//!   with hit/miss/eviction counters; every entry is tagged with the backend
+//!   catalog generation, so a table registered or an index built mid-serve drops
+//!   the affected decisions instead of serving them stale;
+//! * [`MalivaServer::serve_queued`] adds admission control: a queue bounded by
+//!   [`ServeConfig::queue_capacity`] that sheds overload with an explicit
+//!   [`ServeOutcome::Rejected`] and a shed counter instead of growing without
+//!   bound;
 //! * [`ServeMetrics`] reports wall-clock throughput (queries/sec) and
-//!   p50/p95/p99 latency for the `serve` experiment in `maliva-bench`
-//!   (`cargo run -p maliva-bench --release --bin experiments -- serve`).
+//!   p50/p95/p99 latency for the `serve` and `shard` experiments in
+//!   `maliva-bench` (`cargo run -p maliva-bench --release --bin experiments --
+//!   serve shard`).
 //!
 //! Everything a response carries is simulated and deterministic, so a batch
 //! served with 8 workers is byte-identical to the single-threaded run — the
@@ -25,5 +35,6 @@ pub mod server;
 
 pub use cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionCacheStats};
 pub use server::{
-    percentile_ms, MalivaServer, ServeConfig, ServeMetrics, ServeRequest, ServeResponse,
+    backend_for_shards, percentile_ms, MalivaServer, ServeConfig, ServeMetrics, ServeOutcome,
+    ServeRequest, ServeResponse,
 };

@@ -1,18 +1,30 @@
 //! The multi-threaded serving loop.
 //!
-//! A [`MalivaServer`] owns shared handles to the simulated database, a trained
-//! agent and a QTE, plus a [`DecisionCache`]. [`MalivaServer::serve_batch`]
-//! drains a queue of visualization requests across `std::thread::scope` workers:
-//! each request is planned with [`maliva::plan_online`] (unless the decision
-//! cache already knows the answer) and then executed with [`vizdb::Database::run`].
+//! A [`MalivaServer`] owns shared handles to a [`QueryBackend`] (a single
+//! simulated database, a lock-wrapped mutable one, or a per-region
+//! [`vizdb::ShardedBackend`]), a trained agent and a QTE, plus a
+//! [`DecisionCache`]. [`MalivaServer::serve_batch`] drains a queue of
+//! visualization requests across `std::thread::scope` workers: each request is
+//! planned with [`maliva::plan_online`] (unless the decision cache already knows
+//! the answer) and then executed with [`QueryBackend::run`].
 //!
 //! Every quantity a response carries is *simulated* and deterministic — planning
 //! cost, execution time, viability, the materialised result — so serving the same
 //! batch with 1 or 8 workers produces identical responses; only the wall-clock
 //! throughput changes. This is the invariant the concurrency smoke tests pin.
+//!
+//! Three serve-layer knobs ([`ServeConfig`]):
+//!
+//! * `workers` — scoped worker threads draining the batch;
+//! * `shards` — consumed by [`MalivaServer::over_database`], which mirrors the
+//!   database into that many per-region shards behind the same trait object;
+//! * `queue_capacity` — admission control: [`MalivaServer::serve_queued`] admits
+//!   requests into a bounded queue and sheds with an explicit
+//!   [`ServeOutcome::Rejected`] once it is full, instead of growing without bound.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
 use parking_lot::Mutex;
@@ -24,7 +36,7 @@ use vizdb::error::{Error, Result};
 use vizdb::exec::QueryResult;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
-use vizdb::Database;
+use vizdb::{Database, QueryBackend, ShardedBackendBuilder};
 
 use crate::cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionCacheStats};
 
@@ -33,6 +45,18 @@ use crate::cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionC
 pub struct ServeConfig {
     /// Number of worker threads `serve_batch` spawns (at least 1).
     pub workers: usize,
+    /// Number of per-region backend shards [`MalivaServer::over_database`] routes
+    /// viewports across (at least 1; `1` serves the database directly).
+    ///
+    /// Consumed **only** by [`MalivaServer::over_database`], which mirrors the
+    /// database accordingly; [`MalivaServer::new`] takes the backend as
+    /// constructed, so there the field is purely descriptive of the topology the
+    /// caller built.
+    pub shards: usize,
+    /// Admission-control bound for [`MalivaServer::serve_queued`]: requests
+    /// arriving while this many are already queued are shed with
+    /// [`ServeOutcome::Rejected`] (at least 1).
+    pub queue_capacity: usize,
     /// Time budget τ applied to requests that don't carry their own.
     pub default_tau_ms: f64,
     /// Decision-cache sizing and τ-bucketing.
@@ -43,6 +67,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            shards: 1,
+            queue_capacity: 1024,
             default_tau_ms: 500.0,
             cache: DecisionCacheConfig::default(),
         }
@@ -118,6 +144,36 @@ impl ServeResponse {
     }
 }
 
+/// What happened to one request submitted through admission control
+/// ([`MalivaServer::serve_queued`]).
+#[derive(Debug, Clone)]
+pub enum ServeOutcome {
+    /// The request was admitted, planned and executed.
+    Served(ServeResponse),
+    /// The request was shed at admission time.
+    Rejected {
+        /// `true` when the request was shed because the bounded queue was full
+        /// (the only shed reason today; explicit so future admission policies can
+        /// reject for other reasons).
+        queue_full: bool,
+    },
+}
+
+impl ServeOutcome {
+    /// The response, if the request was served.
+    pub fn response(&self) -> Option<&ServeResponse> {
+        match self {
+            Self::Served(response) => Some(response),
+            Self::Rejected { .. } => None,
+        }
+    }
+
+    /// Whether the request was shed.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Self::Rejected { .. })
+    }
+}
+
 /// Wall-clock metrics of one `serve_batch` run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServeMetrics {
@@ -165,14 +221,25 @@ impl ServeMetrics {
     }
 }
 
-/// A multi-threaded, cache-fronted query server over one simulated database.
+/// The backend a [`ServeConfig::shards`] value asks for: the database itself at
+/// one shard, a longitude-partitioned [`vizdb::ShardedBackend`] mirroring its
+/// tables, indexes and samples otherwise.
+pub fn backend_for_shards(db: Arc<Database>, shards: usize) -> Result<Arc<dyn QueryBackend>> {
+    if shards <= 1 {
+        return Ok(db);
+    }
+    Ok(Arc::new(ShardedBackendBuilder::mirror(&db, shards)?))
+}
+
+/// A multi-threaded, cache-fronted query server over one [`QueryBackend`].
 pub struct MalivaServer {
-    db: Arc<Database>,
+    backend: Arc<dyn QueryBackend>,
     agent: Arc<QAgent>,
     qte: Arc<dyn QueryTimeEstimator>,
     space_builder: Arc<SpaceBuilder>,
     cache: DecisionCache,
     config: ServeConfig,
+    shed: AtomicU64,
 }
 
 // `serve_batch` borrows `self` from every scoped worker thread.
@@ -182,25 +249,42 @@ const _: () = {
 };
 
 impl MalivaServer {
-    /// Creates a server over shared database / agent / QTE handles.
+    /// Creates a server over shared backend / agent / QTE handles.
     ///
     /// `space_builder` must be the same builder the agent was trained with (the
     /// Q-network output dimensionality is the space size).
     pub fn new(
-        db: Arc<Database>,
+        backend: Arc<dyn QueryBackend>,
         agent: Arc<QAgent>,
         qte: Arc<dyn QueryTimeEstimator>,
         space_builder: Arc<SpaceBuilder>,
         config: ServeConfig,
     ) -> Self {
         Self {
-            db,
+            backend,
             agent,
             qte,
             space_builder,
             cache: DecisionCache::new(config.cache),
             config,
+            shed: AtomicU64::new(0),
         }
+    }
+
+    /// Creates a server over a loaded database, consuming the `config.shards`
+    /// knob: at `shards > 1` the database is mirrored into that many per-region
+    /// shards (see [`backend_for_shards`]). `qte_builder` receives the serving
+    /// backend so the estimator measures the same backend it serves.
+    pub fn over_database(
+        db: Arc<Database>,
+        agent: Arc<QAgent>,
+        qte_builder: impl FnOnce(Arc<dyn QueryBackend>) -> Arc<dyn QueryTimeEstimator>,
+        space_builder: Arc<SpaceBuilder>,
+        config: ServeConfig,
+    ) -> Result<Self> {
+        let backend = backend_for_shards(db, config.shards)?;
+        let qte = qte_builder(backend.clone());
+        Ok(Self::new(backend, agent, qte, space_builder, config))
     }
 
     /// The server configuration.
@@ -208,14 +292,19 @@ impl MalivaServer {
         &self.config
     }
 
-    /// The shared database handle.
-    pub fn db(&self) -> &Arc<Database> {
-        &self.db
+    /// The shared backend handle.
+    pub fn backend(&self) -> &Arc<dyn QueryBackend> {
+        &self.backend
     }
 
     /// Decision-cache counters.
     pub fn cache_stats(&self) -> DecisionCacheStats {
         self.cache.stats()
+    }
+
+    /// Requests shed by admission control since the server was created.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Drops all cached decisions (counters survive).
@@ -224,16 +313,26 @@ impl MalivaServer {
     }
 
     /// Serves one request: plan (through the decision cache) then execute.
+    ///
+    /// The cache lookup carries the backend's current catalog generation, so a
+    /// decision planned before a mid-serve `register_table` / `build_index` is
+    /// dropped as stale instead of being returned.
     pub fn serve_one(&self, request_index: usize, request: &ServeRequest) -> Result<ServeResponse> {
         let tau_ms = request.tau_ms.unwrap_or(self.config.default_tau_ms);
         let key = self.cache.key(&request.query, tau_ms);
-        let (decision, cache_hit) = match self.cache.get(key) {
+        // The generation is read lazily *inside* the lookup (after the entry is
+        // retrieved), so a catalog mutation landing just before the lookup drops
+        // the entry instead of slipping a stale decision through.
+        let (decision, cache_hit) = match self.cache.get(key, || self.backend.generation()) {
             Some(found) => (found, true),
             None => {
+                // Read before planning: a mutation *during* planning tags the
+                // entry with the pre-mutation generation, so it is born stale.
+                let generation = self.backend.generation();
                 let space = (self.space_builder)(&request.query);
                 let outcome = plan_online(
                     &self.agent,
-                    &self.db,
+                    self.backend.as_ref(),
                     self.qte.as_ref(),
                     &request.query,
                     &space,
@@ -246,10 +345,10 @@ impl MalivaServer {
                 };
                 // First insert wins, so a racing worker's identical decision is
                 // returned as the canonical one.
-                (self.cache.insert(key, planned), false)
+                (self.cache.insert(key, planned, generation), false)
             }
         };
-        let run = self.db.run(&request.query, &decision.rewrite)?;
+        let run = self.backend.run(&request.query, &decision.rewrite)?;
         let total_ms = decision.planning_ms + run.time_ms;
         Ok(ServeResponse {
             request_index,
@@ -314,6 +413,80 @@ impl MalivaServer {
         let latencies: Vec<f64> = latencies.into_iter().map(Mutex::into_inner).collect();
         Ok((responses, ServeMetrics::from_run(wall_clock_ms, &latencies)))
     }
+
+    /// Serves `requests` through admission control: the calling thread submits
+    /// them into a queue bounded by `config.queue_capacity` while
+    /// `config.workers` scoped threads drain it. A request arriving while the
+    /// queue is full is shed immediately with [`ServeOutcome::Rejected`] (and
+    /// counted in [`Self::shed_count`]) — overload sheds, it never stalls the
+    /// submitter or grows the queue without bound.
+    ///
+    /// Outcomes are returned in request order; planning/execution errors of
+    /// admitted requests propagate like in [`Self::serve_batch`].
+    pub fn serve_queued(&self, requests: &[ServeRequest]) -> Result<Vec<ServeOutcome>> {
+        let workers = self.config.workers.max(1);
+        let capacity = self.config.queue_capacity.max(1);
+        let slots: Vec<Mutex<Option<Result<ServeOutcome>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        // (pending request indices, submission finished). std primitives here:
+        // the vendored parking_lot provides no Condvar to block workers on.
+        let queue: StdMutex<(VecDeque<usize>, bool)> = StdMutex::new((VecDeque::new(), false));
+        let not_empty = Condvar::new();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let mut state = queue.lock().expect("queue lock");
+                    let index = loop {
+                        if let Some(i) = state.0.pop_front() {
+                            break Some(i);
+                        }
+                        if state.1 {
+                            break None;
+                        }
+                        state = not_empty.wait(state).expect("queue lock");
+                    };
+                    drop(state);
+                    match index {
+                        Some(i) => {
+                            let outcome = self.serve_one(i, &requests[i]).map(ServeOutcome::Served);
+                            *slots[i].lock() = Some(outcome);
+                        }
+                        None => break,
+                    }
+                });
+            }
+            // Submission loop (the caller's thread): admit or shed.
+            for i in 0..requests.len() {
+                let mut state = queue.lock().expect("queue lock");
+                if state.0.len() >= capacity {
+                    drop(state);
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    *slots[i].lock() = Some(Ok(ServeOutcome::Rejected { queue_full: true }));
+                } else {
+                    state.0.push_back(i);
+                    drop(state);
+                    not_empty.notify_one();
+                }
+            }
+            queue.lock().expect("queue lock").1 = true;
+            not_empty.notify_all();
+        });
+
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for slot in slots {
+            match slot.into_inner() {
+                Some(Ok(outcome)) => outcomes.push(outcome),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(Error::Internal(
+                        "a queued request was neither served nor shed".into(),
+                    ))
+                }
+            }
+        }
+        Ok(outcomes)
+    }
 }
 
 #[cfg(test)]
@@ -322,10 +495,10 @@ mod tests {
     use maliva::RewriteSpace;
     use vizdb::query::{OutputKind, Predicate};
     use vizdb::schema::{ColumnType, TableSchema};
-    use vizdb::storage::TableBuilder;
-    use vizdb::DbConfig;
+    use vizdb::storage::{Table, TableBuilder};
+    use vizdb::{DbConfig, SharedBackend};
 
-    fn build_db() -> Arc<Database> {
+    fn build_table() -> Table {
         let schema = TableSchema::new("tweets")
             .with_column("id", ColumnType::Int)
             .with_column("created_at", ColumnType::Timestamp)
@@ -344,8 +517,12 @@ mod tests {
                 row.set_text("text", &words);
             });
         }
+        b.build()
+    }
+
+    fn build_db() -> Arc<Database> {
         let mut db = Database::new(DbConfig::default());
-        db.register_table(b.build()).unwrap();
+        db.register_table(build_table()).unwrap();
         db.build_all_indexes("tweets").unwrap();
         Arc::new(db)
     }
@@ -366,17 +543,23 @@ mod tests {
 
     /// An untrained (but deterministic) agent is enough to exercise the serving
     /// machinery; training quality is tested in `maliva` itself.
-    fn server_with_workers(db: Arc<Database>, workers: usize) -> MalivaServer {
+    fn server_over(backend: Arc<dyn QueryBackend>, config: ServeConfig) -> MalivaServer {
         let space_len = RewriteSpace::hints_only(&make_query(0)).len();
         MalivaServer::new(
-            db.clone(),
+            backend.clone(),
             Arc::new(QAgent::new(space_len, 500.0, 7)),
-            Arc::new(maliva_qte::AccurateQte::new(db)),
+            Arc::new(maliva_qte::AccurateQte::new(backend)),
             Arc::new(RewriteSpace::hints_only),
+            config,
+        )
+    }
+
+    fn server_with_workers(db: Arc<Database>, workers: usize) -> MalivaServer {
+        server_over(
+            db,
             ServeConfig {
                 workers,
-                default_tau_ms: 500.0,
-                cache: DecisionCacheConfig::default(),
+                ..ServeConfig::default()
             },
         )
     }
@@ -444,6 +627,41 @@ mod tests {
         }
     }
 
+    /// The `shards` knob: a server over a mirrored sharded backend serves the
+    /// same results as one over the plain database.
+    #[test]
+    fn sharded_server_serves_identical_results() {
+        let db = build_db();
+        let requests = batch(12);
+        let reference = server_with_workers(db.clone(), 2)
+            .serve_batch(&requests)
+            .unwrap();
+        for shards in [2usize, 4] {
+            let server = MalivaServer::over_database(
+                db.clone(),
+                Arc::new(QAgent::new(
+                    RewriteSpace::hints_only(&make_query(0)).len(),
+                    500.0,
+                    7,
+                )),
+                |backend| Arc::new(maliva_qte::AccurateQte::new(backend)),
+                Arc::new(RewriteSpace::hints_only),
+                ServeConfig {
+                    workers: 2,
+                    shards,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let responses = server.serve_batch(&requests).unwrap();
+            // Exact (hint-only) rewrites: the materialised results must match
+            // whatever per-shard plan the backend used.
+            for (a, b) in reference.iter().zip(&responses) {
+                assert_eq!(a.result, b.result, "results diverged at {shards} shards");
+            }
+        }
+    }
+
     #[test]
     fn per_request_tau_controls_viability() {
         let server = server_with_workers(build_db(), 1);
@@ -474,6 +692,95 @@ mod tests {
             err.to_string().contains("rewrite-space size"),
             "unexpected error: {err}"
         );
+    }
+
+    /// The invalidation satellite (server half): registering a table mid-serve
+    /// bumps the backend generation, so the next lookup of an already-cached
+    /// decision must re-plan instead of returning the stale entry.
+    #[test]
+    fn catalog_mutation_mid_serve_invalidates_cached_decisions() {
+        let mut db = Database::new(DbConfig::default());
+        db.register_table(build_table()).unwrap();
+        db.build_all_indexes("tweets").unwrap();
+        let shared = Arc::new(SharedBackend::new(db));
+        let server = server_over(shared.clone(), ServeConfig::default());
+
+        let request = ServeRequest::new(make_query(0));
+        let first = server.serve_one(0, &request).unwrap();
+        assert!(!first.cache_hit);
+        let warm = server.serve_one(1, &request).unwrap();
+        assert!(warm.cache_hit, "second identical request must hit");
+
+        // Mid-serve catalog mutation through the shared handle.
+        let late = TableSchema::new("late").with_column("id", ColumnType::Int);
+        shared
+            .register_table(TableBuilder::new(late).build())
+            .unwrap();
+
+        let after = server.serve_one(2, &request).unwrap();
+        assert!(
+            !after.cache_hit,
+            "a decision planned before register_table must not be served"
+        );
+        assert!(server.cache_stats().stale_drops >= 1);
+        // The re-planned decision over the unchanged table is still the same.
+        assert_eq!(after.result, first.result);
+    }
+
+    /// The admission-control satellite: overload sheds rather than stalls.
+    #[test]
+    fn overload_sheds_with_explicit_rejections() {
+        let server = server_over(
+            build_db(),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                ..ServeConfig::default()
+            },
+        );
+        let requests = batch(200);
+        let outcomes = server.serve_queued(&requests).unwrap();
+        assert_eq!(outcomes.len(), requests.len());
+        let served = outcomes.iter().filter(|o| o.response().is_some()).count();
+        let shed = outcomes.iter().filter(|o| o.is_rejected()).count();
+        assert_eq!(served + shed, requests.len());
+        assert!(served >= 1, "the queue must still drain under overload");
+        assert!(
+            shed > 0,
+            "a tight queue with one worker and 200 instant arrivals must shed"
+        );
+        assert_eq!(server.shed_count(), shed as u64);
+        for outcome in &outcomes {
+            if let ServeOutcome::Rejected { queue_full } = outcome {
+                assert!(queue_full);
+            }
+        }
+    }
+
+    /// With a queue at least as large as the batch, nothing is shed and queued
+    /// serving matches batch serving.
+    #[test]
+    fn queued_serving_without_overload_matches_batch() {
+        let db = build_db();
+        let requests = batch(10);
+        let reference = server_with_workers(db.clone(), 2)
+            .serve_batch(&requests)
+            .unwrap();
+        db.clear_caches();
+        let server = server_over(
+            db,
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let outcomes = server.serve_queued(&requests).unwrap();
+        assert_eq!(server.shed_count(), 0);
+        for (a, b) in reference.iter().zip(&outcomes) {
+            let b = b.response().expect("not shed");
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
     }
 
     #[test]

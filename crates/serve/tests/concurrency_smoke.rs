@@ -43,6 +43,7 @@ fn server(db: Arc<Database>, agent: Arc<QAgent>, workers: usize) -> MalivaServer
             workers,
             default_tau_ms: TAU_MS,
             cache: DecisionCacheConfig::default(),
+            ..ServeConfig::default()
         },
     )
 }

@@ -110,6 +110,10 @@ pub struct Database {
     planner: Planner,
     time_cache: FingerprintCache,
     selectivity_cache: FingerprintCache,
+    /// Catalog generation: bumped by every mutation that can change execution times
+    /// or cached decisions (`register_table`, `build_index`, `build_sample`), so
+    /// layers above (e.g. the serving layer's decision cache) can detect staleness.
+    generation: u64,
 }
 
 // The serving layer shares one `Arc<Database>` across worker threads; keep that
@@ -130,7 +134,25 @@ impl Database {
             planner,
             time_cache: FingerprintCache::new(),
             selectivity_cache: FingerprintCache::new(),
+            generation: 0,
         }
+    }
+
+    /// The current catalog generation. Any cached artefact derived from this
+    /// database (execution times, planning decisions) is stale once the value it
+    /// was computed under no longer matches.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Invalidation hook shared by every catalog mutation: bump the generation and
+    /// drop both fingerprint caches, whose entries were computed against the old
+    /// catalog (a new index changes execution times, a new sample changes
+    /// approximate rewrites, a re-registered table changes everything).
+    fn invalidate(&mut self) {
+        self.generation += 1;
+        self.time_cache.clear();
+        self.selectivity_cache.clear();
     }
 
     /// The database configuration.
@@ -157,7 +179,21 @@ impl Database {
                 indexed_columns: HashSet::new(),
             },
         );
+        self.invalidate();
         Ok(())
+    }
+
+    /// The raw storage of `table` (used by the sharded backend to partition a
+    /// loaded table into per-region shards).
+    pub fn table(&self, table: &str) -> Result<&Table> {
+        Ok(&self.entry(table)?.table)
+    }
+
+    /// The sample fractions (in percent) built for `table`, sorted ascending.
+    pub fn sample_fractions(&self, table: &str) -> Result<Vec<u32>> {
+        let mut fractions: Vec<u32> = self.entry(table)?.samples.keys().copied().collect();
+        fractions.sort_unstable();
+        Ok(fractions)
     }
 
     /// Names of all registered tables.
@@ -236,6 +272,7 @@ impl Database {
             }
         }
         entry.indexed_columns.insert(col_idx);
+        self.invalidate();
         Ok(())
     }
 
@@ -262,6 +299,7 @@ impl Database {
             .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
         let sample = SampleTable::build(table, entry.table.row_count(), fraction_pct, seed);
         entry.samples.insert(fraction_pct, sample);
+        self.invalidate();
         Ok(())
     }
 
@@ -785,6 +823,30 @@ mod tests {
         assert_eq!(sel_entries, 1, "zero-row selectivity must be cached");
         assert_eq!(db.true_selectivity("empty", &pred).unwrap(), 0.0);
         assert_eq!(db.cache_entry_counts().1, 1);
+    }
+
+    /// Catalog mutations must bump the generation and drop the fingerprint caches,
+    /// so that stale cached times can never be served after an index appears.
+    #[test]
+    fn catalog_mutations_bump_generation_and_drop_caches() {
+        let mut db = build_db();
+        let g0 = db.generation();
+        assert!(g0 > 0, "construction mutations must already count");
+        let q = base_query();
+        let ro = RewriteOption::original();
+        let _ = db.execution_time_ms(&q, &ro).unwrap();
+        assert!(db.cache_entry_counts().0 > 0);
+        db.build_index("tweets", "user_id").unwrap();
+        assert_eq!(db.generation(), g0 + 1);
+        assert_eq!(
+            db.cache_entry_counts(),
+            (0, 0),
+            "fingerprint caches must be invalidated by catalog mutations"
+        );
+        let schema = TableSchema::new("late").with_column("id", ColumnType::Int);
+        db.register_table(TableBuilder::new(schema).build())
+            .unwrap();
+        assert_eq!(db.generation(), g0 + 2);
     }
 
     /// Two heatmap viewports sharing one corner of the grid extent must not share

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod approx;
+pub mod backend;
 pub mod cache;
 pub mod db;
 pub mod error;
@@ -55,11 +56,14 @@ pub mod optimizer;
 pub mod plan;
 pub mod query;
 pub mod schema;
+pub mod sharded;
 pub mod stats;
 pub mod storage;
 pub mod timing;
 pub mod types;
 
+pub use backend::{QueryBackend, SharedBackend};
 pub use cache::FingerprintCache;
 pub use db::{Database, DbConfig, DbProfile, RunOutcome};
 pub use error::{Error, Result};
+pub use sharded::{ShardedBackend, ShardedBackendBuilder};

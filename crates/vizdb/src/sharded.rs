@@ -1,0 +1,1056 @@
+//! [`ShardedBackend`]: per-region database shards behind one [`QueryBackend`].
+//!
+//! Dataflow visualization systems get their interactive latency from pushing
+//! viewport queries down to partitioned executors and merging the per-partition
+//! aggregates. Maliva's heatmap aggregate (`BinnedCounts`) is exactly mergeable
+//! — every row lands in one grid cell, cells sum — so the backend can be split
+//! into N per-region [`Database`] shards by **longitude-range partitioning**
+//! (derived from the table's geo statistics) without changing any observable
+//! result:
+//!
+//! * a viewport query is fanned out **only to the shards its longitude interval
+//!   overlaps** (the spatial predicate and/or the binning grid extent), each
+//!   shard executing on its own thread;
+//! * per-shard `Bins` grids are merged by summing counts per cell — byte-identical
+//!   to the unsharded result; `Count`s sum; `Points` of a partitioned table are
+//!   returned in the **canonical distributed order** (sorted by `(id, lon, lat)`)
+//!   on every routing path, single- or multi-shard;
+//! * the merged execution time is the **slowest overlapping shard** (the shards
+//!   run in parallel), which is where the speedup over a single backend comes
+//!   from;
+//! * selectivity-style estimates compose as **row-count-weighted sums** over the
+//!   shards, so QTE feature vectors and Q-agent decisions stay well-defined: the
+//!   weighted sum of true selectivities is *exactly* the global true selectivity,
+//!   and estimated selectivities/cardinalities aggregate the per-shard optimizer
+//!   estimates the same way a distributed planner would.
+//!
+//! Tables without a geo column (dimension tables, TPC-H-style facts) are
+//! **replicated** into every shard so joins stay shard-local; queries rooted at a
+//! replicated table are routed to shard 0 only (any replica answers exactly).
+//! A join whose *right* table is partitioned cannot be answered shard-locally
+//! (cross-shard join pairs would be silently lost), so such queries are
+//! **rejected** with [`Error::InvalidQuery`] instead of merging wrong aggregates;
+//! cross-shard join shuffles are a ROADMAP follow-on.
+//!
+//! ## Equivalence scope
+//!
+//! Results are **byte-identical** to the unsharded [`Database`] for *exact*
+//! rewrites without a row cap — the visualization workloads this repo serves
+//! (heatmap grids, viewport scatterplots, counts) — provided the `Points` id
+//! column preserves storage order (true for every dataset generator here;
+//! otherwise the sets are equal but the canonical order differs from the
+//! unsharded scan order). Row-capped queries follow standard **distributed
+//! LIMIT semantics** instead:
+//!
+//! * an explicit `query.limit` is applied *per shard* and re-applied at the
+//!   merge, so `Count` outputs stay exactly equal to the unsharded backend
+//!   (`min(Σ per-shard count, limit)`) and `Points` outputs return a valid
+//!   `limit`-sized subset in canonical order (the unsharded backend keeps the
+//!   first `limit` rows in scan order — an arbitrary tie-break this backend does
+//!   not reproduce); a `BinnedCounts` output under an explicit limit bins each
+//!   shard's first `limit` qualifying rows — up to `shards × limit` rows in
+//!   total where the unsharded backend bins an equally arbitrary first-`limit`
+//!   subset (a capped heatmap has no canonical answer; both are valid
+//!   `limit`-per-scan samples);
+//! * an approximate `LIMIT`-permille rewrite sizes its cap from each shard's own
+//!   estimated cardinality — per-shard stratified sampling with the same
+//!   expected kept fraction as the single backend, not a byte-identical row set
+//!   (it is an approximation rule; quality metrics measure it as such).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::backend::QueryBackend;
+use crate::db::{Database, DbConfig, RunOutcome};
+use crate::error::{Error, Result};
+use crate::exec::QueryResult;
+use crate::hints::RewriteOption;
+use crate::plan::PhysicalPlan;
+use crate::query::{OutputKind, Predicate, Query};
+use crate::schema::{ColumnType, TableSchema};
+use crate::stats::TableStats;
+use crate::storage::Table;
+use crate::timing::WorkProfile;
+use crate::types::RecordId;
+
+/// How one logical table is laid out across the shards.
+#[derive(Debug, Clone)]
+struct TablePartition {
+    /// Geo column the table is partitioned on; `None` for replicated tables.
+    geo_attr: Option<usize>,
+    /// Per-shard longitude range `[lo, hi]` (inclusive overlap tests). Empty for
+    /// replicated tables.
+    lon_bounds: Vec<(f64, f64)>,
+    /// Rows per shard (for replicated tables: the single replica's count).
+    shard_rows: Vec<usize>,
+}
+
+impl TablePartition {
+    fn is_replicated(&self) -> bool {
+        self.geo_attr.is_none()
+    }
+}
+
+/// Builds a [`ShardedBackend`], mirroring the [`Database`] loading API
+/// (`register_table` / `build_index` / `build_sample`) shard-wise.
+pub struct ShardedBackendBuilder {
+    shards: Vec<Database>,
+    partitions: HashMap<String, TablePartition>,
+    schemas: HashMap<String, TableSchema>,
+    global_stats: HashMap<String, TableStats>,
+}
+
+impl ShardedBackendBuilder {
+    /// Starts building a backend of `shards` per-region databases, each with the
+    /// given configuration (same simulated cost model and seed, so per-shard
+    /// planning is as deterministic as the single database's).
+    pub fn new(config: DbConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Database::new(config.clone())).collect(),
+            partitions: HashMap::new(),
+            schemas: HashMap::new(),
+            global_stats: HashMap::new(),
+        }
+    }
+
+    /// Number of shards being built.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a table: geo tables are partitioned into longitude ranges
+    /// derived from their statistics (equal-width over the data's longitude
+    /// extent), geo-less tables are replicated into every shard.
+    pub fn register_table(&mut self, table: &Table) -> Result<()> {
+        let stats = TableStats::analyze(table)?;
+        let name = table.name().to_string();
+        let n = self.shards.len();
+        let geo_attr = table
+            .schema()
+            .columns
+            .iter()
+            .position(|c| c.ty == ColumnType::Geo)
+            .filter(|_| n > 1);
+
+        let partition = match geo_attr {
+            Some(attr) => {
+                // Longitude extent from the (freshly analyzed) table statistics —
+                // the same statistics a coordinator node would have.
+                let bounds = match stats.column(attr) {
+                    Some(crate::stats::ColumnStats::Geo(geo)) => geo.bounds,
+                    _ => {
+                        return Err(Error::Internal(format!(
+                            "geo column {attr} of table {name} has no geo statistics"
+                        )))
+                    }
+                };
+                let (lo, hi) = if table.row_count() == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (bounds.min_lon, bounds.max_lon)
+                };
+                let width = ((hi - lo) / n as f64).max(f64::EPSILON);
+                let shard_of =
+                    |lon: f64| -> usize { (((lon - lo) / width).floor() as usize).min(n - 1) };
+                let mut assignment: Vec<Vec<RecordId>> = vec![Vec::new(); n];
+                for rid in 0..table.row_count() as RecordId {
+                    let p = table.geo(attr, rid)?;
+                    assignment[shard_of(p.lon)].push(rid);
+                }
+                let mut shard_rows = Vec::with_capacity(n);
+                for (shard, keep) in self.shards.iter_mut().zip(&assignment) {
+                    shard_rows.push(keep.len());
+                    shard.register_table(table.subset(keep)?)?;
+                }
+                // Pin the outer endpoints to the exact data extent: recomputing
+                // them as `lo + n·width` can round *below* `hi`, and a viewport
+                // starting exactly at the data's max longitude would then prune
+                // the shard that owns the max-lon rows.
+                let lon_bounds = (0..n)
+                    .map(|i| {
+                        let shard_lo = if i == 0 { lo } else { lo + i as f64 * width };
+                        let shard_hi = if i == n - 1 {
+                            hi.max(lo + n as f64 * width)
+                        } else {
+                            lo + (i + 1) as f64 * width
+                        };
+                        (shard_lo, shard_hi)
+                    })
+                    .collect();
+                TablePartition {
+                    geo_attr: Some(attr),
+                    lon_bounds,
+                    shard_rows,
+                }
+            }
+            None => {
+                for shard in &mut self.shards {
+                    shard.register_table(table.clone())?;
+                }
+                TablePartition {
+                    geo_attr: None,
+                    lon_bounds: Vec::new(),
+                    shard_rows: vec![table.row_count(); n],
+                }
+            }
+        };
+        self.partitions.insert(name.clone(), partition);
+        self.schemas.insert(name.clone(), table.schema().clone());
+        self.global_stats.insert(name, stats);
+        Ok(())
+    }
+
+    /// Builds the index on `table.column` in every shard.
+    pub fn build_index(&mut self, table: &str, column: &str) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.build_index(table, column)?;
+        }
+        Ok(())
+    }
+
+    /// Builds indexes on every column of `table` in every shard.
+    pub fn build_all_indexes(&mut self, table: &str) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.build_all_indexes(table)?;
+        }
+        Ok(())
+    }
+
+    /// Builds a `fraction_pct`% sample of `table` in every shard (each shard
+    /// samples its own rows, so the union is a stratified sample of the whole
+    /// table).
+    pub fn build_sample(&mut self, table: &str, fraction_pct: u32) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.build_sample(table, fraction_pct)?;
+        }
+        Ok(())
+    }
+
+    /// Finalises the backend.
+    pub fn build(self) -> ShardedBackend {
+        ShardedBackend {
+            shards: self.shards,
+            partitions: self.partitions,
+            schemas: self.schemas,
+            global_stats: self.global_stats,
+        }
+    }
+
+    /// Builds a sharded backend mirroring an already-loaded [`Database`]: same
+    /// configuration, tables, indexes and sample fractions. This is the
+    /// migration path from a single backend to `shards` per-region ones.
+    pub fn mirror(db: &Database, shards: usize) -> Result<ShardedBackend> {
+        let mut builder = Self::new(db.config().clone(), shards);
+        for name in db.table_names() {
+            builder.register_table(db.table(&name)?)?;
+        }
+        for name in db.table_names() {
+            let schema = db.table(&name)?.schema().clone();
+            for col in db.indexed_columns(&name)? {
+                builder.build_index(&name, schema.column_name(col)?)?;
+            }
+            for pct in db.sample_fractions(&name)? {
+                builder.build_sample(&name, pct)?;
+            }
+        }
+        Ok(builder.build())
+    }
+}
+
+/// N per-region [`Database`] shards behind the [`QueryBackend`] surface.
+pub struct ShardedBackend {
+    shards: Vec<Database>,
+    partitions: HashMap<String, TablePartition>,
+    schemas: HashMap<String, TableSchema>,
+    global_stats: HashMap<String, TableStats>,
+}
+
+// Shared across serving threads exactly like a single database.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedBackend>();
+};
+
+impl ShardedBackend {
+    /// Starts a builder (see [`ShardedBackendBuilder`]).
+    pub fn builder(config: DbConfig, shards: usize) -> ShardedBackendBuilder {
+        ShardedBackendBuilder::new(config, shards)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rows of `table` per shard (the replica count repeated for replicated
+    /// tables).
+    pub fn shard_row_counts(&self, table: &str) -> Result<Vec<usize>> {
+        Ok(self.partition(table)?.shard_rows.clone())
+    }
+
+    fn partition(&self, table: &str) -> Result<&TablePartition> {
+        self.partitions
+            .get(table)
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))
+    }
+
+    /// Shard-local execution answers a join only if every replica of the right
+    /// table is complete: a partitioned right table would silently lose every
+    /// cross-shard join pair, so such queries are rejected up front.
+    fn check_join_is_shard_local(&self, query: &Query) -> Result<()> {
+        if let Some(join) = &query.join {
+            if !self.partition(&join.right_table)?.is_replicated() {
+                return Err(Error::InvalidQuery(format!(
+                    "table {} is partitioned across {} shards and cannot be the right side \
+                     of a shard-local join; replicate it (no geo column) or run unsharded",
+                    join.right_table,
+                    self.shards.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The shards a query on `query.table` must be fanned out to: every shard
+    /// whose longitude range overlaps the query's longitude interval, derived
+    /// from its spatial predicates on the partition column and (for heatmaps)
+    /// the binning grid extent. Queries over replicated tables route to shard 0.
+    pub fn overlapping_shards(&self, query: &Query) -> Result<Vec<usize>> {
+        self.check_join_is_shard_local(query)?;
+        let part = self.partition(&query.table)?;
+        let attr = match part.geo_attr {
+            None => return Ok(vec![0]),
+            Some(attr) => attr,
+        };
+        let mut lon_lo = f64::NEG_INFINITY;
+        let mut lon_hi = f64::INFINITY;
+        for pred in &query.predicates {
+            if let Predicate::SpatialRange { attr: a, rect } = pred {
+                if *a == attr {
+                    lon_lo = lon_lo.max(rect.min_lon);
+                    lon_hi = lon_hi.min(rect.max_lon);
+                }
+            }
+        }
+        if let OutputKind::BinnedCounts { point_attr, grid } = &query.output {
+            // Rows outside the grid extent produce no bins, so shards entirely
+            // outside it cannot contribute to the merged heatmap.
+            if *point_attr == attr {
+                lon_lo = lon_lo.max(grid.extent.min_lon);
+                lon_hi = lon_hi.min(grid.extent.max_lon);
+            }
+        }
+        let targets: Vec<usize> = part
+            .lon_bounds
+            .iter()
+            .enumerate()
+            .filter(|(_, &(lo, hi))| lo <= lon_hi && hi >= lon_lo)
+            .map(|(i, _)| i)
+            .collect();
+        if targets.is_empty() {
+            // The viewport misses the data entirely; one shard still runs the
+            // query so overheads and the (empty) result shape are reported.
+            return Ok(vec![0]);
+        }
+        Ok(targets)
+    }
+
+    /// Fans `f` out over the target shards on scoped threads, preserving shard
+    /// order in the returned vector. Scoped spawn-per-call keeps the borrow-based
+    /// API (no `'static` jobs, no per-shard query clones); `run` pays it once per
+    /// materialised request, while the estimate path stays thread-free — a
+    /// persistent shard worker pool is a ROADMAP follow-on.
+    fn fan_out<R: Send>(
+        &self,
+        targets: &[usize],
+        f: impl Fn(&Database) -> Result<R> + Sync,
+    ) -> Result<Vec<R>> {
+        if targets.len() == 1 {
+            return Ok(vec![f(&self.shards[targets[0]])?]);
+        }
+        let mut slots: Vec<Option<Result<R>>> = Vec::new();
+        slots.resize_with(targets.len(), || None);
+        std::thread::scope(|scope| {
+            for (slot, &shard) in slots.iter_mut().zip(targets) {
+                let f = &f;
+                let db = &self.shards[shard];
+                scope.spawn(move || {
+                    *slot = Some(f(db));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(Error::Internal("a shard worker never reported back".into()))
+                })
+            })
+            .collect()
+    }
+
+    /// Sorts points into the canonical distributed order and applies the global
+    /// row cap. Every routing path of a partitioned table returns this order, so
+    /// narrow (single-shard) and wide (multi-shard) viewports are consistent.
+    fn canonicalise_points(points: &mut Vec<(i64, crate::types::GeoPoint)>, limit: Option<usize>) {
+        points.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.lon.total_cmp(&b.1.lon))
+                .then(a.1.lat.total_cmp(&b.1.lat))
+        });
+        if let Some(limit) = limit {
+            points.truncate(limit);
+        }
+    }
+
+    /// Merges per-shard outcomes: results by aggregate type, execution time as
+    /// the slowest shard (they ran in parallel), work as the total. An explicit
+    /// `query.limit` was already applied per shard; re-applying it here makes
+    /// `Count` outputs exactly equal to the unsharded backend (`min(Σ, limit)`)
+    /// and bounds `Points` at the requested size.
+    fn merge_outcomes(query: &Query, outcomes: Vec<RunOutcome>) -> Result<RunOutcome> {
+        let mut merged_time: f64 = 0.0;
+        let mut merged_work = WorkProfile::default();
+        let mut plan: Option<PhysicalPlan> = None;
+        let mut bins: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut points: Vec<(i64, crate::types::GeoPoint)> = Vec::new();
+        let mut count: u64 = 0;
+        for outcome in outcomes {
+            merged_time = merged_time.max(outcome.time_ms);
+            merged_work.add(&outcome.work);
+            if plan.is_none() {
+                plan = Some(outcome.plan);
+            }
+            match outcome.result {
+                QueryResult::Bins(pairs) => {
+                    for (bin, c) in pairs {
+                        *bins.entry(bin).or_insert(0) += c;
+                    }
+                }
+                QueryResult::Points(p) => points.extend(p),
+                QueryResult::Count(c) => count += c,
+            }
+        }
+        let result = match &query.output {
+            OutputKind::BinnedCounts { .. } => QueryResult::Bins(bins.into_iter().collect()),
+            OutputKind::Points { .. } => {
+                Self::canonicalise_points(&mut points, query.limit);
+                QueryResult::Points(points)
+            }
+            OutputKind::Count => {
+                if let Some(limit) = query.limit {
+                    count = count.min(limit as u64);
+                }
+                QueryResult::Count(count)
+            }
+        };
+        Ok(RunOutcome {
+            time_ms: merged_time,
+            result,
+            plan: plan.ok_or_else(|| Error::Internal("merged a query over zero shards".into()))?,
+            work: merged_work,
+        })
+    }
+
+    /// Row-count-weighted mean of a per-shard quantity — the composition rule
+    /// that keeps selectivities exact: `Σ selᵢ·rowsᵢ / Σ rowsᵢ` over partitioned
+    /// shards equals the selectivity over the whole table.
+    fn weighted_selectivity(
+        &self,
+        table: &str,
+        f: impl Fn(&Database) -> Result<f64>,
+    ) -> Result<f64> {
+        let part = self.partition(table)?;
+        if part.is_replicated() {
+            return f(&self.shards[0]);
+        }
+        let mut weighted = 0.0;
+        let mut rows = 0usize;
+        for (shard, &shard_rows) in self.shards.iter().zip(&part.shard_rows) {
+            if shard_rows == 0 {
+                continue;
+            }
+            weighted += f(shard)? * shard_rows as f64;
+            rows += shard_rows;
+        }
+        if rows == 0 {
+            return Ok(0.0);
+        }
+        Ok(weighted / rows as f64)
+    }
+}
+
+impl QueryBackend for ShardedBackend {
+    fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.partitions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn row_count(&self, table: &str) -> Result<usize> {
+        let part = self.partition(table)?;
+        if part.is_replicated() {
+            return Ok(part.shard_rows.first().copied().unwrap_or(0));
+        }
+        Ok(part.shard_rows.iter().sum())
+    }
+
+    fn schema(&self, table: &str) -> Result<TableSchema> {
+        self.schemas
+            .get(table)
+            .cloned()
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))
+    }
+
+    fn stats(&self, table: &str) -> Result<TableStats> {
+        self.global_stats
+            .get(table)
+            .cloned()
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))
+    }
+
+    fn indexed_columns(&self, table: &str) -> Result<Vec<usize>> {
+        self.shards[0].indexed_columns(table)
+    }
+
+    fn sample_len(&self, table: &str, fraction_pct: u32) -> Result<usize> {
+        let part = self.partition(table)?;
+        if part.is_replicated() {
+            return self.shards[0].sample(table, fraction_pct).map(|s| s.len());
+        }
+        let mut total = 0usize;
+        for shard in &self.shards {
+            total += shard.sample(table, fraction_pct)?.len();
+        }
+        Ok(total)
+    }
+
+    fn plan(&self, query: &Query, ro: &RewriteOption) -> Result<PhysicalPlan> {
+        let targets = self.overlapping_shards(query)?;
+        self.shards[targets[0]].plan(query, ro)
+    }
+
+    fn run(&self, query: &Query, ro: &RewriteOption) -> Result<RunOutcome> {
+        let targets = self.overlapping_shards(query)?;
+        if targets.len() == 1 {
+            let mut outcome = self.shards[targets[0]].run(query, ro)?;
+            // Partitioned tables return points in the canonical distributed
+            // order on *every* routing path, so a narrow (single-shard) viewport
+            // orders rows the same way a wide (merged) one does.
+            if let QueryResult::Points(points) = &mut outcome.result {
+                if !self.partition(&query.table)?.is_replicated() {
+                    Self::canonicalise_points(points, query.limit);
+                }
+            }
+            return Ok(outcome);
+        }
+        let outcomes = self.fan_out(&targets, |shard| shard.run(query, ro))?;
+        Self::merge_outcomes(query, outcomes)
+    }
+
+    fn execution_time_ms(&self, query: &Query, ro: &RewriteOption) -> Result<f64> {
+        // The slowest-overlapping-shard time is a *simulated* quantity — computing
+        // it needs no real parallelism, so don't pay a thread spawn per estimate
+        // (planning and metrics loops call this once per hint set per query).
+        let targets = self.overlapping_shards(query)?;
+        let mut slowest = 0.0f64;
+        for &shard in &targets {
+            slowest = slowest.max(self.shards[shard].execution_time_ms(query, ro)?);
+        }
+        Ok(slowest)
+    }
+
+    fn estimated_cardinality(&self, query: &Query) -> Result<f64> {
+        self.check_join_is_shard_local(query)?;
+        let part = self.partition(&query.table)?;
+        if part.is_replicated() {
+            return self.shards[0].estimated_cardinality(query);
+        }
+        let mut total = 0.0;
+        for (shard, &rows) in self.shards.iter().zip(&part.shard_rows) {
+            if rows == 0 {
+                continue;
+            }
+            total += shard.estimated_cardinality(query)?;
+        }
+        Ok(total)
+    }
+
+    fn estimated_selectivity(&self, table: &str, pred: &Predicate) -> Result<f64> {
+        self.weighted_selectivity(table, |shard| shard.estimated_selectivity(table, pred))
+    }
+
+    fn true_selectivity(&self, table: &str, pred: &Predicate) -> Result<f64> {
+        self.weighted_selectivity(table, |shard| shard.true_selectivity(table, pred))
+    }
+
+    fn sample_selectivity(
+        &self,
+        table: &str,
+        pred: &Predicate,
+        fraction_pct: u32,
+    ) -> Result<(f64, usize)> {
+        let part = self.partition(table)?;
+        if part.is_replicated() {
+            return self.shards[0].sample_selectivity(table, pred, fraction_pct);
+        }
+        let mut matched = 0.0;
+        let mut scanned = 0usize;
+        for shard in &self.shards {
+            let (sel, rows) = shard.sample_selectivity(table, pred, fraction_pct)?;
+            matched += sel * rows as f64;
+            scanned += rows;
+        }
+        let sel = if scanned == 0 {
+            0.0
+        } else {
+            matched / scanned as f64
+        };
+        Ok((sel, scanned))
+    }
+
+    fn render_sql(&self, query: &Query, ro: &RewriteOption) -> String {
+        self.shards[0].render_sql(query, ro)
+    }
+
+    fn generation(&self) -> u64 {
+        self.shards.iter().map(Database::generation).sum()
+    }
+
+    fn clear_caches(&self) {
+        for shard in &self.shards {
+            shard.clear_caches();
+        }
+    }
+
+    fn cache_entry_counts(&self) -> (usize, usize) {
+        let mut totals = (0, 0);
+        for shard in &self.shards {
+            let (t, s) = shard.cache_entry_counts();
+            totals.0 += t;
+            totals.1 += s;
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{BinGrid, JoinSpec, OutputKind, Predicate};
+    use crate::storage::TableBuilder;
+    use crate::types::GeoRect;
+
+    /// A skewed bi-coastal table: 70% of rows near the west edge, 30% near the
+    /// east, timestamps uniform, keyword "hot" on every 4th row.
+    fn build_table(rows: i64) -> Table {
+        let schema = TableSchema::new("events")
+            .with_column("id", ColumnType::Int)
+            .with_column("when", ColumnType::Timestamp)
+            .with_column("loc", ColumnType::Geo)
+            .with_column("text", ColumnType::Text);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_timestamp("when", i * 10);
+                let lon = if i % 10 < 7 {
+                    -120.0 + (i % 31) as f64 * 0.1
+                } else {
+                    -80.0 + (i % 17) as f64 * 0.1
+                };
+                row.set_geo("loc", lon, 30.0 + (i % 19) as f64 * 0.5);
+                let unique = format!("u{i}");
+                let words: Vec<&str> = if i % 4 == 0 {
+                    vec!["hot", unique.as_str()]
+                } else {
+                    vec!["cold", unique.as_str()]
+                };
+                row.set_text("text", &words);
+            });
+        }
+        b.build()
+    }
+
+    fn users_table(rows: i64) -> Table {
+        let schema = TableSchema::new("users")
+            .with_column("id", ColumnType::Int)
+            .with_column("score", ColumnType::Float);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_float("score", (i % 50) as f64);
+            });
+        }
+        b.build()
+    }
+
+    fn single_db(table: &Table) -> Database {
+        let mut db = Database::new(DbConfig::default());
+        db.register_table(table.clone()).unwrap();
+        db.build_all_indexes("events").unwrap();
+        db.build_sample("events", 20).unwrap();
+        db
+    }
+
+    fn sharded(table: &Table, n: usize) -> ShardedBackend {
+        let mut b = ShardedBackend::builder(DbConfig::default(), n);
+        b.register_table(table).unwrap();
+        b.build_all_indexes("events").unwrap();
+        b.build_sample("events", 20).unwrap();
+        b.build()
+    }
+
+    fn viewport(rect: GeoRect, cols: u32, rows: u32) -> Query {
+        Query::select("events")
+            .filter(Predicate::spatial_range(2, rect))
+            .output(OutputKind::BinnedCounts {
+                point_attr: 2,
+                grid: BinGrid::new(rect, cols, rows),
+            })
+    }
+
+    #[test]
+    fn partitioning_assigns_every_row_exactly_once() {
+        let table = build_table(2_000);
+        for n in [1usize, 2, 4, 8] {
+            let backend = sharded(&table, n);
+            let counts = backend.shard_row_counts("events").unwrap();
+            assert_eq!(counts.len(), n);
+            assert_eq!(counts.iter().sum::<usize>(), 2_000);
+            assert_eq!(backend.row_count("events").unwrap(), 2_000);
+        }
+    }
+
+    #[test]
+    fn binned_counts_merge_byte_identically() {
+        let table = build_table(3_000);
+        let reference = single_db(&table);
+        for n in [2usize, 3, 4, 8] {
+            let backend = sharded(&table, n);
+            for rect in [
+                GeoRect::new(-125.0, 25.0, -66.0, 49.0),  // whole extent
+                GeoRect::new(-121.0, 29.0, -115.0, 41.0), // west coast only
+                GeoRect::new(-100.0, 25.0, -70.0, 49.0),  // straddles the split
+            ] {
+                let q = viewport(rect, 16, 16);
+                let ro = RewriteOption::original();
+                let expected = reference.run(&q, &ro).unwrap().result;
+                let got = backend.run(&q, &ro).unwrap().result;
+                assert_eq!(expected, got, "diverged at {n} shards for {rect:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn counts_and_sorted_points_match_the_unsharded_backend() {
+        let table = build_table(1_500);
+        let reference = single_db(&table);
+        let backend = sharded(&table, 4);
+        let count_q = Query::select("events")
+            .filter(Predicate::keyword(3, "hot"))
+            .output(OutputKind::Count);
+        let ro = RewriteOption::original();
+        assert_eq!(
+            reference.run(&count_q, &ro).unwrap().result,
+            backend.run(&count_q, &ro).unwrap().result
+        );
+        let points_q = Query::select("events")
+            .filter(Predicate::keyword(3, "hot"))
+            .output(OutputKind::Points {
+                id_attr: 0,
+                point_attr: 2,
+            });
+        let mut expected = match reference.run(&points_q, &ro).unwrap().result {
+            QueryResult::Points(p) => p,
+            other => panic!("expected points, got {other:?}"),
+        };
+        expected.sort_by(|a, b| a.0.cmp(&b.0));
+        let got = match backend.run(&points_q, &ro).unwrap().result {
+            QueryResult::Points(p) => p,
+            other => panic!("expected points, got {other:?}"),
+        };
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn narrow_viewports_prune_shards() {
+        let table = build_table(2_000);
+        let backend = sharded(&table, 8);
+        let west = viewport(GeoRect::new(-121.0, 25.0, -116.0, 49.0), 8, 8);
+        let targets = backend.overlapping_shards(&west).unwrap();
+        assert!(
+            targets.len() < 8,
+            "a narrow west-coast viewport must not fan out to all shards, got {targets:?}"
+        );
+        let everywhere = Query::select("events").output(OutputKind::Count);
+        assert_eq!(
+            backend.overlapping_shards(&everywhere).unwrap().len(),
+            8,
+            "an unconstrained query must fan out everywhere"
+        );
+        // A viewport that misses the data entirely still routes somewhere and
+        // returns an empty result.
+        let nowhere = viewport(GeoRect::new(40.0, 25.0, 50.0, 49.0), 4, 4);
+        assert_eq!(backend.overlapping_shards(&nowhere).unwrap(), vec![0]);
+        let outcome = backend.run(&nowhere, &RewriteOption::original()).unwrap();
+        assert_eq!(outcome.result, QueryResult::Bins(vec![]));
+    }
+
+    /// Distributed LIMIT semantics: the per-shard cap is re-applied at the merge,
+    /// so `Count` outputs stay exactly equal to the unsharded backend whether the
+    /// cap binds (limit < qualifying) or not.
+    #[test]
+    fn count_with_limit_matches_unsharded() {
+        let table = build_table(2_000);
+        let reference = single_db(&table);
+        let backend = sharded(&table, 4);
+        let ro = RewriteOption::original();
+        for limit in [1usize, 7, 100, 10_000] {
+            let q = Query::select("events")
+                .filter(Predicate::keyword(3, "hot"))
+                .output(OutputKind::Count)
+                .limit(limit);
+            assert_eq!(
+                reference.run(&q, &ro).unwrap().result,
+                backend.run(&q, &ro).unwrap().result,
+                "count diverged at limit {limit}"
+            );
+        }
+    }
+
+    /// Points of a partitioned table come back in the canonical distributed order
+    /// on every routing path — a narrow viewport hitting one shard must order rows
+    /// exactly like a wide viewport that merges several.
+    #[test]
+    fn points_order_is_canonical_on_single_and_multi_shard_routes() {
+        let table = build_table(1_200);
+        let backend = sharded(&table, 8);
+        let ro = RewriteOption::original();
+        let points_of = |rect: GeoRect| {
+            let q = Query::select("events")
+                .filter(Predicate::spatial_range(2, rect))
+                .output(OutputKind::Points {
+                    id_attr: 0,
+                    point_attr: 2,
+                });
+            match backend.run(&q, &ro).unwrap().result {
+                QueryResult::Points(p) => p,
+                other => panic!("expected points, got {other:?}"),
+            }
+        };
+        let narrow = GeoRect::new(-120.5, 25.0, -119.5, 49.0); // one west shard
+        assert!(
+            backend
+                .overlapping_shards(
+                    &Query::select("events").filter(Predicate::spatial_range(2, narrow))
+                )
+                .unwrap()
+                .len()
+                == 1,
+            "test premise: the narrow viewport routes to exactly one shard"
+        );
+        for points in [
+            points_of(narrow),
+            points_of(GeoRect::new(-125.0, 25.0, -66.0, 49.0)),
+        ] {
+            assert!(!points.is_empty());
+            assert!(
+                points.windows(2).all(|w| w[0].0 <= w[1].0),
+                "points must be in canonical (id-sorted) order on every route"
+            );
+        }
+    }
+
+    #[test]
+    fn true_selectivity_composes_exactly() {
+        let table = build_table(2_400);
+        let reference = single_db(&table);
+        let backend = sharded(&table, 4);
+        for pred in [
+            Predicate::keyword(3, "hot"),
+            Predicate::time_range(1, 0, 9_000),
+            Predicate::spatial_range(2, GeoRect::new(-121.0, 25.0, -110.0, 49.0)),
+        ] {
+            let expected = reference.true_selectivity("events", &pred).unwrap();
+            let got = backend.true_selectivity("events", &pred).unwrap();
+            assert!(
+                (expected - got).abs() < 1e-12,
+                "true selectivity must compose exactly: {expected} vs {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_time_is_no_slower_than_single_and_usually_faster() {
+        let table = build_table(4_000);
+        let reference = single_db(&table);
+        let backend = sharded(&table, 4);
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 16, 16);
+        let ro = RewriteOption::hinted(crate::hints::HintSet::with_mask(0));
+        let single = reference.execution_time_ms(&q, &ro).unwrap();
+        let parallel = backend.execution_time_ms(&q, &ro).unwrap();
+        assert!(
+            parallel < single,
+            "slowest-shard time {parallel} should beat the single-backend scan {single}"
+        );
+    }
+
+    #[test]
+    fn replicated_dimension_tables_keep_joins_shard_local() {
+        let events = build_table(1_200);
+        // Rebuild the fact table with a join key (reuse id % 40 as user id).
+        let schema = TableSchema::new("events")
+            .with_column("id", ColumnType::Int)
+            .with_column("when", ColumnType::Timestamp)
+            .with_column("loc", ColumnType::Geo)
+            .with_column("user_id", ColumnType::Int);
+        let mut b = TableBuilder::new(schema);
+        for rid in 0..events.row_count() as RecordId {
+            let id = events.int(0, rid).unwrap();
+            let when = events.timestamp(1, rid).unwrap();
+            let p = events.geo(2, rid).unwrap();
+            b.push_row(|row| {
+                row.set_int("id", id);
+                row.set_timestamp("when", when);
+                row.set_geo("loc", p.lon, p.lat);
+                row.set_int("user_id", id % 40);
+            });
+        }
+        let fact = b.build();
+        let users = users_table(40);
+
+        let mut reference = Database::new(DbConfig::default());
+        reference.register_table(fact.clone()).unwrap();
+        reference.register_table(users.clone()).unwrap();
+        reference.build_all_indexes("events").unwrap();
+        reference.build_all_indexes("users").unwrap();
+
+        let mut builder = ShardedBackend::builder(DbConfig::default(), 4);
+        builder.register_table(&fact).unwrap();
+        builder.register_table(&users).unwrap();
+        builder.build_all_indexes("events").unwrap();
+        builder.build_all_indexes("users").unwrap();
+        let backend = builder.build();
+
+        let q = Query::select("events")
+            .filter(Predicate::time_range(1, 0, 8_000))
+            .join_with(JoinSpec {
+                right_table: "users".into(),
+                left_attr: 3,
+                right_attr: 0,
+                right_predicates: vec![Predicate::numeric_range(1, 0.0, 20.0)],
+            })
+            .output(OutputKind::Count);
+        let ro = RewriteOption::original();
+        assert_eq!(
+            reference.run(&q, &ro).unwrap().result,
+            backend.run(&q, &ro).unwrap().result,
+            "a join against a replicated dimension table must merge exactly"
+        );
+        assert_eq!(backend.row_count("users").unwrap(), 40);
+    }
+
+    /// A viewport whose lower-left corner sits exactly on the data's maximum
+    /// longitude must still reach the shard owning the max-lon rows — the last
+    /// shard's upper bound is pinned to the exact extent, not the rounded
+    /// `lo + n·width` (which can fall an ulp short).
+    #[test]
+    fn viewport_at_the_exact_data_max_lon_hits_the_owning_shard() {
+        let table = build_table(1_000);
+        let reference = single_db(&table);
+        let stats = TableStats::analyze(&table).unwrap();
+        let max_lon = match stats.column(2) {
+            Some(crate::stats::ColumnStats::Geo(geo)) => geo.bounds.max_lon,
+            other => panic!("expected geo stats, got {other:?}"),
+        };
+        let rect = GeoRect::new(max_lon, 25.0, max_lon + 10.0, 49.0);
+        for n in [2usize, 3, 4, 7, 8] {
+            let backend = sharded(&table, n);
+            let q = viewport(rect, 4, 4);
+            let last = backend.overlapping_shards(&q).unwrap().contains(&(n - 1));
+            assert!(last, "the max-lon shard must be targeted at {n} shards");
+            assert_eq!(
+                reference
+                    .run(&q, &RewriteOption::original())
+                    .unwrap()
+                    .result,
+                backend.run(&q, &RewriteOption::original()).unwrap().result,
+                "max-lon edge rows dropped at {n} shards"
+            );
+        }
+    }
+
+    /// A join whose right table is longitude-partitioned would lose every
+    /// cross-shard pair; the backend must reject it instead of silently merging
+    /// wrong aggregates. The same join over a single "shard" (everything
+    /// replicated at n = 1) still works.
+    #[test]
+    fn joins_against_partitioned_right_tables_are_rejected() {
+        let events = build_table(600);
+        let mut checkins_schema_rows = TableBuilder::new(
+            TableSchema::new("checkins")
+                .with_column("id", ColumnType::Int)
+                .with_column("spot", ColumnType::Geo),
+        );
+        for i in 0..200i64 {
+            checkins_schema_rows.push_row(|row| {
+                row.set_int("id", i % 40);
+                row.set_geo("spot", -120.0 + (i % 50) as f64, 35.0);
+            });
+        }
+        let checkins = checkins_schema_rows.build();
+        let q = Query::select("events")
+            .join_with(JoinSpec {
+                right_table: "checkins".into(),
+                left_attr: 0,
+                right_attr: 0,
+                right_predicates: vec![],
+            })
+            .output(OutputKind::Count);
+        let ro = RewriteOption::original();
+
+        let mut builder = ShardedBackend::builder(DbConfig::default(), 4);
+        builder.register_table(&events).unwrap();
+        builder.register_table(&checkins).unwrap();
+        let backend = builder.build();
+        let err = backend.run(&q, &ro).unwrap_err();
+        assert!(
+            matches!(err, Error::InvalidQuery(_)),
+            "expected InvalidQuery, got {err:?}"
+        );
+        assert!(backend.execution_time_ms(&q, &ro).is_err());
+        assert!(backend.estimated_cardinality(&q).is_err());
+
+        // At one shard every table is replicated, so the same join is answerable.
+        let mut single = ShardedBackend::builder(DbConfig::default(), 1);
+        single.register_table(&events).unwrap();
+        single.register_table(&checkins).unwrap();
+        assert!(single.build().run(&q, &ro).is_ok());
+    }
+
+    #[test]
+    fn mirror_reproduces_tables_indexes_and_samples() {
+        let table = build_table(900);
+        let db = single_db(&table);
+        let backend = ShardedBackendBuilder::mirror(&db, 3).unwrap();
+        assert_eq!(backend.shard_count(), 3);
+        assert_eq!(backend.table_names(), vec!["events".to_string()]);
+        assert_eq!(
+            backend.indexed_columns("events").unwrap(),
+            db.indexed_columns("events").unwrap()
+        );
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let ro = RewriteOption::original();
+        assert_eq!(
+            db.run(&q, &ro).unwrap().result,
+            backend.run(&q, &ro).unwrap().result
+        );
+        // Stratified per-shard samples cover about as many rows as the single
+        // backend's sample.
+        let single_len = db.sample("events", 20).unwrap().len();
+        let sharded_len = backend.sample_len("events", 20).unwrap();
+        assert!((single_len as i64 - sharded_len as i64).abs() <= 3);
+    }
+}

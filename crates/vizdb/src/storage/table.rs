@@ -155,6 +155,65 @@ impl Table {
         }
     }
 
+    /// Builds a new table (same schema and name) containing only the rows in `keep`,
+    /// in the given order. Text documents are re-interned into a fresh dictionary so
+    /// per-document frequencies — and therefore the statistics derived from them —
+    /// describe the subset, not the source table. Used by the sharded backend to
+    /// spatially partition a loaded table into self-contained per-region tables.
+    pub fn subset(&self, keep: &[RecordId]) -> Result<Table> {
+        let mut dictionary = Dictionary::new();
+        let mut columns = Vec::with_capacity(self.columns.len());
+        for col in &self.columns {
+            let data = match col {
+                ColumnData::Int(v) => {
+                    ColumnData::Int(keep.iter().map(|&r| v[r as usize]).collect())
+                }
+                ColumnData::Float(v) => {
+                    ColumnData::Float(keep.iter().map(|&r| v[r as usize]).collect())
+                }
+                ColumnData::Timestamp(v) => {
+                    ColumnData::Timestamp(keep.iter().map(|&r| v[r as usize]).collect())
+                }
+                ColumnData::Geo(v) => {
+                    ColumnData::Geo(keep.iter().map(|&r| v[r as usize]).collect())
+                }
+                ColumnData::Text(docs) => {
+                    let mut subset_docs = Vec::with_capacity(keep.len());
+                    for &r in keep {
+                        let mut tokens: Vec<TokenId> = docs[r as usize]
+                            .iter()
+                            .map(|&t| {
+                                let word = self.dictionary.word(t).ok_or_else(|| {
+                                    Error::Internal(format!(
+                                        "token {t} of table {} has no dictionary entry",
+                                        self.name()
+                                    ))
+                                })?;
+                                Ok(dictionary.intern(word))
+                            })
+                            .collect::<Result<_>>()?;
+                        // Documents store sorted token lists (membership checks are
+                        // binary searches); re-interning changes the id order.
+                        tokens.sort_unstable();
+                        tokens.dedup();
+                        for &t in &tokens {
+                            dictionary.bump_doc_freq(t);
+                        }
+                        subset_docs.push(tokens);
+                    }
+                    ColumnData::Text(subset_docs)
+                }
+            };
+            columns.push(data);
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+            dictionary,
+            row_count: keep.len(),
+        })
+    }
+
     fn type_err(&self, col: usize, expected: &'static str, actual: &ColumnData) -> Error {
         Error::TypeMismatch {
             column: self
@@ -398,6 +457,34 @@ mod tests {
             row.set_int("a", 1);
             // "b" intentionally not set.
         });
+    }
+
+    #[test]
+    fn subset_keeps_selected_rows_and_reinterns_text() {
+        let t = sample_table();
+        let sub = t.subset(&[1, 5, 7]).unwrap();
+        assert_eq!(sub.row_count(), 3);
+        assert_eq!(sub.name(), "tweets");
+        assert_eq!(sub.int(0, 0).unwrap(), 1);
+        assert_eq!(sub.int(0, 2).unwrap(), 7);
+        // All three kept rows are odd ids, so they carry "mask" but never "vaccine".
+        let mask = sub.dictionary().lookup("mask").unwrap();
+        assert!(sub.dictionary().lookup("vaccine").is_none());
+        assert_eq!(sub.dictionary().doc_freq(mask), 3);
+        assert!(sub.text_contains(3, 0, mask).unwrap());
+        // Token lists stay sorted after re-interning.
+        for row in 0..3 {
+            let doc = sub.text(3, row).unwrap();
+            assert!(doc.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn subset_of_nothing_is_an_empty_table() {
+        let t = sample_table();
+        let sub = t.subset(&[]).unwrap();
+        assert_eq!(sub.row_count(), 0);
+        assert!(sub.dictionary().is_empty());
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Property test: for random tables, viewports, shard counts and grid sizes,
+//! `ShardedBackend::run` merges `BinnedCounts` byte-identically to the unsharded
+//! `Database`, and selectivities compose exactly. This pins the core invariant
+//! of the scale-out path: sharding is an execution strategy, never a semantic
+//! change.
+
+use proptest::prelude::*;
+
+use vizdb::query::{BinGrid, OutputKind, Predicate, Query};
+use vizdb::schema::{ColumnType, TableSchema};
+use vizdb::storage::{Table, TableBuilder};
+use vizdb::types::GeoRect;
+use vizdb::{Database, DbConfig, QueryBackend, ShardedBackend};
+
+fn build_table(points: &[(f64, f64)], with_keyword_every: usize) -> Table {
+    let schema = TableSchema::new("events")
+        .with_column("id", ColumnType::Int)
+        .with_column("when", ColumnType::Timestamp)
+        .with_column("loc", ColumnType::Geo)
+        .with_column("text", ColumnType::Text);
+    let mut b = TableBuilder::new(schema);
+    for (i, &(lon, lat)) in points.iter().enumerate() {
+        b.push_row(|row| {
+            row.set_int("id", i as i64);
+            row.set_timestamp("when", i as i64 * 7);
+            row.set_geo("loc", lon, lat);
+            let unique = format!("u{i}");
+            let words: Vec<&str> = if i % with_keyword_every == 0 {
+                vec!["hot", unique.as_str()]
+            } else {
+                vec!["cold", unique.as_str()]
+            };
+            row.set_text("text", &words);
+        });
+    }
+    b.build()
+}
+
+fn unsharded(table: &Table) -> Database {
+    let mut db = Database::new(DbConfig::default());
+    db.register_table(table.clone()).unwrap();
+    db.build_all_indexes("events").unwrap();
+    db
+}
+
+fn sharded(table: &Table, shards: usize) -> ShardedBackend {
+    let mut builder = ShardedBackend::builder(DbConfig::default(), shards);
+    builder.register_table(table).unwrap();
+    builder.build_all_indexes("events").unwrap();
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant: merged heatmap grids are byte-identical for any
+    /// viewport, any shard count and any grid resolution.
+    #[test]
+    fn binned_counts_are_byte_identical(
+        points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 40..220),
+        shards in 1usize..=8,
+        cols in 1u32..24,
+        rows in 1u32..24,
+        lon_a in -130.0f64..-60.0,
+        lon_w in 0.5f64..50.0,
+        lat_a in 20.0f64..50.0,
+        lat_h in 0.5f64..25.0,
+    ) {
+        // Exercise both the filtered and the unfiltered (grid-extent-pruned)
+        // routing path without needing a boolean strategy.
+        let constrain = cols % 2 == 0;
+        let table = build_table(&points, 4);
+        let reference = unsharded(&table);
+        let backend = sharded(&table, shards);
+
+        let rect = GeoRect::new(lon_a, lat_a, lon_a + lon_w, lat_a + lat_h);
+        let mut query = Query::select("events").output(OutputKind::BinnedCounts {
+            point_attr: 2,
+            grid: BinGrid::new(rect, cols, rows),
+        });
+        if constrain {
+            query = query.filter(Predicate::spatial_range(2, rect));
+        }
+        let ro = vizdb::hints::RewriteOption::original();
+        let expected = reference.run(&query, &ro).unwrap().result;
+        let got = backend.run(&query, &ro).unwrap().result;
+        prop_assert_eq!(expected, got);
+    }
+
+    /// Counts sum exactly and row-count-weighted true selectivities reproduce the
+    /// global value for every predicate kind the routing can see.
+    #[test]
+    fn counts_and_selectivities_compose(
+        points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 30..150),
+        shards in 2usize..=8,
+        t_hi in 1i64..2_000,
+    ) {
+        let table = build_table(&points, 3);
+        let reference = unsharded(&table);
+        let backend = sharded(&table, shards);
+
+        let query = Query::select("events")
+            .filter(Predicate::time_range(1, 0, t_hi))
+            .output(OutputKind::Count);
+        let ro = vizdb::hints::RewriteOption::original();
+        prop_assert_eq!(
+            reference.run(&query, &ro).unwrap().result,
+            backend.run(&query, &ro).unwrap().result
+        );
+
+        for pred in [
+            Predicate::keyword(3, "hot"),
+            Predicate::time_range(1, 0, t_hi),
+        ] {
+            let expected = reference.true_selectivity("events", &pred).unwrap();
+            let got = backend.true_selectivity("events", &pred).unwrap();
+            prop_assert!((expected - got).abs() < 1e-12,
+                "selectivity composition diverged: {} vs {}", expected, got);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration test of the `QueryBackend` refactor: every layer of
+//! the stack — training (`maliva`), estimation (`maliva-qte`), the learned
+//! baseline (`maliva-baselines`), workload metrics, and serving (`maliva-serve`)
+//! — runs unchanged over a per-region `vizdb::ShardedBackend`, and the results
+//! it materialises are byte-identical to the single database it mirrors.
+
+use std::sync::Arc;
+
+use maliva::metrics::evaluate_workload;
+use maliva::{train_agent, MalivaConfig, MalivaRewriter, QueryRewriter, RewardSpec, RewriteSpace};
+use maliva_baselines::{BaoConfig, BaoRewriter};
+use maliva_qte::AccurateQte;
+use maliva_serve::{MalivaServer, ServeConfig, ServeRequest};
+use maliva_workload::{build_twitter, generate_workload, DatasetScale};
+use vizdb::{QueryBackend, ShardedBackendBuilder};
+
+const TAU_MS: f64 = 500.0;
+
+#[test]
+fn every_layer_runs_over_a_sharded_backend() {
+    let dataset = build_twitter(DatasetScale::tiny(), 2024);
+    let db = dataset.db.clone();
+    let workload = generate_workload(&dataset, 24, 11);
+    let (train, eval) = workload.split_at(16);
+
+    // One logical table, four per-region shards, same indexes and samples.
+    let sharded: Arc<dyn QueryBackend> =
+        Arc::new(ShardedBackendBuilder::mirror(&db, 4).expect("mirroring into shards"));
+    assert_eq!(
+        sharded.row_count(&dataset.table).unwrap(),
+        db.row_count(&dataset.table).unwrap()
+    );
+
+    // Training directly against the sharded backend: the agent's MDP states are
+    // built from composed (row-count-weighted) selectivities and stay well-defined.
+    let qte = Arc::new(AccurateQte::new(sharded.clone()));
+    let trained = train_agent(
+        sharded.as_ref(),
+        qte.as_ref(),
+        train,
+        &RewriteSpace::hints_only,
+        RewardSpec::efficiency_only(),
+        &MalivaConfig {
+            tau_ms: TAU_MS,
+            max_epochs: 1,
+            ..MalivaConfig::fast()
+        },
+    )
+    .expect("MDP training over the sharded backend");
+
+    // The MDP rewriter and the learned Bao baseline both consume the trait object.
+    let mdp = MalivaRewriter::new(
+        "MDP (sharded)",
+        sharded.clone(),
+        qte.clone(),
+        trained.agent.clone(),
+        Box::new(RewriteSpace::hints_only),
+        TAU_MS,
+    );
+    let bao = BaoRewriter::train(sharded.clone(), train, BaoConfig::default())
+        .expect("Bao training over the sharded backend");
+    for rewriter in [&mdp as &dyn QueryRewriter, &bao] {
+        for q in eval {
+            let decision = rewriter
+                .rewrite(q)
+                .unwrap_or_else(|e| panic!("{} failed to plan: {e}", rewriter.name()));
+            // Hint-only rewrites are exact: the sharded merge must be byte-identical
+            // to the single backend under the same rewrite.
+            assert_eq!(
+                sharded.run(q, &decision.rewrite).unwrap().result,
+                db.run(q, &decision.rewrite).unwrap().result,
+                "{} produced a diverging result",
+                rewriter.name()
+            );
+        }
+    }
+
+    // The metrics layer evaluates against the trait object too.
+    let metrics = evaluate_workload(&mdp, sharded.as_ref(), eval, TAU_MS)
+        .expect("workload evaluation over the sharded backend");
+    assert_eq!(metrics.queries, eval.len());
+    assert!((0.0..=100.0).contains(&metrics.vqp));
+
+    // And the serving layer: the `shards` knob mirrors internally and serves the
+    // same results as a server over the plain database.
+    let requests: Vec<ServeRequest> = eval.iter().map(|q| ServeRequest::new(q.clone())).collect();
+    let agent = Arc::new(trained.agent);
+    let reference = MalivaServer::over_database(
+        db.clone(),
+        agent.clone(),
+        |backend| Arc::new(AccurateQte::new(backend)),
+        Arc::new(RewriteSpace::hints_only),
+        ServeConfig {
+            workers: 2,
+            shards: 1,
+            default_tau_ms: TAU_MS,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("single-shard server")
+    .serve_batch(&requests)
+    .expect("single-shard serving");
+    let sharded_responses = MalivaServer::over_database(
+        db.clone(),
+        agent,
+        |backend| Arc::new(AccurateQte::new(backend)),
+        Arc::new(RewriteSpace::hints_only),
+        ServeConfig {
+            workers: 2,
+            shards: 4,
+            default_tau_ms: TAU_MS,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("four-shard server")
+    .serve_batch(&requests)
+    .expect("four-shard serving");
+    for (a, b) in reference.iter().zip(&sharded_responses) {
+        assert_eq!(a.result, b.result, "served results diverged across shards");
+    }
+}
