@@ -5,9 +5,11 @@
 //! `MALIVA_SCALE` / `MALIVA_QUERIES` environment variables (see
 //! [`crate::harness::scale_from_env`]).
 
+pub mod exec;
 pub mod serve;
 pub mod shard;
 
+pub use exec::run_exec_engine;
 pub use serve::run_serve_throughput;
 pub use shard::run_shard_scaling;
 
@@ -694,7 +696,7 @@ pub fn run_fig21() -> Vec<ExperimentOutput> {
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve", "shard",
+        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve", "shard", "exec",
     ]
 }
 
@@ -714,6 +716,7 @@ pub fn run_experiment(id: &str) -> Vec<ExperimentOutput> {
         "fig21" => run_fig21(),
         "serve" => run_serve_throughput(),
         "shard" => run_shard_scaling(),
+        "exec" => run_exec_engine(),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -748,6 +751,10 @@ pub fn experiment_descriptions() -> BTreeMap<&'static str, &'static str> {
         (
             "shard",
             "Per-region shard scaling at 1/2/4/8 shards (speedup + result equivalence)",
+        ),
+        (
+            "exec",
+            "Interpreter vs compiled batch engine (wall-clock speedup + byte-identical results)",
         ),
     ])
 }

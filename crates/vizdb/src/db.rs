@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use crate::approx::ApproxRule;
 use crate::cache::FingerprintCache;
 use crate::error::{Error, Result};
-use crate::exec::{execute, ExecTable, QueryResult};
+use crate::exec::{execute_with, ExecEngine, ExecTable, QueryResult};
 use crate::fingerprint::{predicate_fingerprint, query_fingerprint, rewrite_fingerprint};
 use crate::hints::{enumerate_hint_sets, RewriteOption};
 use crate::index::{BPlusTree, InvertedIndex, RTree};
@@ -258,8 +258,9 @@ impl Database {
                 entry.rtree.insert(col_idx, RTree::build(entries));
             }
             ColumnType::Text => {
-                let docs: Vec<Vec<u32>> = match entry.table.column(col_idx)? {
-                    ColumnData::Text(docs) => docs.clone(),
+                // Build straight from the CSR-flattened column — no per-row clones.
+                let index = match entry.table.column(col_idx)? {
+                    ColumnData::Text(docs) => InvertedIndex::from_docs(docs.docs()),
                     other => {
                         return Err(Error::TypeMismatch {
                             column: column.to_string(),
@@ -268,7 +269,7 @@ impl Database {
                         })
                     }
                 };
-                entry.inverted.insert(col_idx, InvertedIndex::build(&docs));
+                entry.inverted.insert(col_idx, index);
             }
         }
         entry.indexed_columns.insert(col_idx);
@@ -412,9 +413,11 @@ impl Database {
     }
 
     fn scan_count(&self, entry: &TableEntry, pred: &Predicate) -> Result<usize> {
+        // Resolve the keyword token once, not per scanned row.
+        let token = crate::exec::resolve_keyword_token(pred, &entry.table);
         let mut count = 0usize;
         for rid in 0..entry.table.row_count() as RecordId {
-            if crate::exec::executor_eval(pred, &entry.table, rid)? {
+            if crate::exec::eval_resolved(pred, token, &entry.table, rid)? {
                 count += 1;
             }
         }
@@ -438,9 +441,10 @@ impl Database {
                 table: table.to_string(),
                 fraction_pct,
             })?;
+        let token = crate::exec::resolve_keyword_token(pred, &entry.table);
         let mut matched = 0usize;
         for &rid in sample.row_ids() {
-            if crate::exec::executor_eval(pred, &entry.table, rid)? {
+            if crate::exec::eval_resolved(pred, token, &entry.table, rid)? {
                 matched += 1;
             }
         }
@@ -456,7 +460,20 @@ impl Database {
     /// Runs the rewritten query and returns its materialised result, plan, operation
     /// counts and simulated execution time.
     pub fn run(&self, query: &Query, ro: &RewriteOption) -> Result<RunOutcome> {
-        self.run_inner(query, ro, true)
+        self.run_inner(query, ro, true, ExecEngine::Compiled)
+    }
+
+    /// [`Database::run`] with an explicit execution engine — the interpreter and
+    /// the compiled batch engine are observationally identical (same results,
+    /// same work profile, same simulated time); the knob exists for equivalence
+    /// tests and the `exec` benchmark that measures the wall-clock gap.
+    pub fn run_with_engine(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        engine: ExecEngine,
+    ) -> Result<RunOutcome> {
+        self.run_inner(query, ro, true, engine)
     }
 
     /// Simulated execution time of `query` rewritten with `ro`, without materialising
@@ -470,7 +487,9 @@ impl Database {
         // `run_inner` performs the canonical insert itself (first insert wins and
         // the returned outcome carries the canonical time), so no second insert —
         // and no second key hash — is needed here.
-        Ok(self.run_inner(query, ro, false)?.time_ms)
+        Ok(self
+            .run_inner(query, ro, false, ExecEngine::Compiled)?
+            .time_ms)
     }
 
     fn run_inner(
@@ -478,6 +497,7 @@ impl Database {
         query: &Query,
         ro: &RewriteOption,
         materialize: bool,
+        engine: ExecEngine,
     ) -> Result<RunOutcome> {
         let fact = self.entry(&query.table)?;
         let dim = self.dim_entry(query)?;
@@ -495,13 +515,14 @@ impl Database {
         };
 
         let dim_exec = dim.map(|d| d.exec_table());
-        let outcome = execute(
+        let outcome = execute_with(
             query,
             &plan,
             &fact.exec_table(),
             dim_exec.as_ref(),
             limit_rows,
             materialize,
+            engine,
         )?;
 
         let base_ms = execution_time_ms(&outcome.work, &self.config.cost_params);

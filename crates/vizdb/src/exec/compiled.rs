@@ -1,0 +1,616 @@
+//! The compiled columnar batch execution path.
+//!
+//! The interpreter in [`crate::exec::executor`] re-matches the [`ColumnData`]
+//! variant, re-bounds-checks the column vector and — for keyword predicates —
+//! re-resolves the dictionary token on *every row*. This module lowers each
+//! query's predicates **once per execution** into typed [`CompiledPredicate`]s
+//! that bind the concrete column slice and the pre-resolved token up front, then
+//! evaluates them over record-id batches with a selection-vector loop: predicate
+//! `k` only sees the rows that survived predicates `0..k`, which is exactly the
+//! work the short-circuiting interpreter performs, so `WorkProfile` counts (and
+//! therefore simulated times) are identical by construction.
+//!
+//! Binned-count outputs additionally get **dense-grid binning**: when the grid
+//! is small enough ([`DENSE_GRID_MAX_CELLS`]) counts accumulate into a
+//! `Vec<u64>` indexed by bin id instead of a `HashMap`, producing the same
+//! sorted `(bin, count)` pairs without hashing per qualifying row.
+//!
+//! Compilation is falliable (a type-mismatched or out-of-range predicate cannot
+//! bind its column); callers fall back to the interpreter in that case so error
+//! behaviour — including the "empty table never evaluates a predicate" edge —
+//! stays observationally identical.
+//!
+//! [`ColumnData`]: crate::storage::ColumnData
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::query::{BinGrid, Predicate};
+use crate::storage::{Table, TextColumn};
+use crate::timing::WorkProfile;
+use crate::types::{GeoPoint, GeoRect, NumRange, RecordId, TimeRange, Timestamp, TokenId};
+
+/// Which execution path the executor takes. The compiled engine is the default;
+/// the interpreter is kept as the semantic reference (equivalence is pinned by a
+/// property test) and as the fallback for queries that fail to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Row-at-a-time `Result`-dispatched predicate interpretation.
+    Interpreted,
+    /// Predicates lowered once per execution, evaluated over record-id batches.
+    #[default]
+    Compiled,
+}
+
+/// Record ids per selection-vector batch. Small enough that a batch of ids plus
+/// the touched column stripes stay cache-resident, large enough to amortise the
+/// per-batch bookkeeping.
+const BATCH_ROWS: usize = 1024;
+
+/// Largest grid (cells) binned into a dense `Vec<u64>`; larger grids fall back
+/// to the `HashMap` path (a 2^20-cell grid is already a 1024×1024 heatmap —
+/// far beyond any tile a frontend renders — while the dense vector stays 8 MiB).
+pub const DENSE_GRID_MAX_CELLS: usize = 1 << 20;
+
+/// One predicate lowered against one concrete table: the column slice is bound
+/// and the keyword token resolved, so per-row evaluation is branch-light and
+/// infallible.
+pub enum CompiledPredicate<'a> {
+    /// Keyword containment over pre-tokenised documents. `token` is `None` when
+    /// the keyword is not in the table dictionary (no row can match).
+    Keyword {
+        /// CSR-flattened sorted token lists.
+        docs: &'a TextColumn,
+        /// The token resolved once at compile time.
+        token: Option<TokenId>,
+    },
+    /// Time range over a timestamp column.
+    Time {
+        /// The bound column.
+        col: &'a [Timestamp],
+        /// Inclusive interval.
+        range: TimeRange,
+    },
+    /// Numeric range over an integer column.
+    NumericInt {
+        /// The bound column.
+        col: &'a [i64],
+        /// Inclusive interval.
+        range: NumRange,
+    },
+    /// Numeric range over a float column.
+    NumericFloat {
+        /// The bound column.
+        col: &'a [f64],
+        /// Inclusive interval.
+        range: NumRange,
+    },
+    /// Numeric range over a timestamp column (the interpreter's generic numeric
+    /// view accepts timestamps too).
+    NumericTimestamp {
+        /// The bound column.
+        col: &'a [Timestamp],
+        /// Inclusive interval.
+        range: NumRange,
+    },
+    /// Spatial containment over a geo column.
+    Spatial {
+        /// The bound column.
+        col: &'a [GeoPoint],
+        /// Query rectangle.
+        rect: GeoRect,
+    },
+}
+
+impl CompiledPredicate<'_> {
+    /// Evaluates the predicate for one row. Infallible: the column was bound and
+    /// type-checked at compile time.
+    #[inline]
+    pub fn eval(&self, rid: RecordId) -> bool {
+        let rid = rid as usize;
+        match self {
+            CompiledPredicate::Keyword { docs, token } => match token {
+                Some(t) => docs.doc_contains(rid, *t),
+                None => false,
+            },
+            CompiledPredicate::Time { col, range } => range.contains(col[rid]),
+            CompiledPredicate::NumericInt { col, range } => range.contains(col[rid] as f64),
+            CompiledPredicate::NumericFloat { col, range } => range.contains(col[rid]),
+            CompiledPredicate::NumericTimestamp { col, range } => range.contains(col[rid] as f64),
+            CompiledPredicate::Spatial { col, rect } => rect.contains(&col[rid]),
+        }
+    }
+
+    /// Evaluates the predicate over the contiguous row range `[start, end)`,
+    /// pushing matching record ids. This is the columnar fast path for the
+    /// *first* predicate of a sequential scan: it streams the raw column slice
+    /// instead of gathering through a selection vector.
+    #[inline]
+    fn filter_range(&self, start: RecordId, end: RecordId, out: &mut Vec<RecordId>) {
+        let (s, e) = (start as usize, end as usize);
+        match self {
+            CompiledPredicate::Keyword { docs, token } => {
+                if let Some(t) = token {
+                    // CSR layout: sweep the batch's contiguous token stripe once
+                    // instead of binary-searching each document.
+                    docs.rows_containing(s, e, *t, out);
+                }
+            }
+            CompiledPredicate::Time { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    if range.contains(*v) {
+                        out.push(start + i as RecordId);
+                    }
+                }
+            }
+            CompiledPredicate::NumericInt { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    if range.contains(*v as f64) {
+                        out.push(start + i as RecordId);
+                    }
+                }
+            }
+            CompiledPredicate::NumericFloat { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    if range.contains(*v) {
+                        out.push(start + i as RecordId);
+                    }
+                }
+            }
+            CompiledPredicate::NumericTimestamp { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    if range.contains(*v as f64) {
+                        out.push(start + i as RecordId);
+                    }
+                }
+            }
+            CompiledPredicate::Spatial { col, rect } => {
+                for (i, p) in col[s..e].iter().enumerate() {
+                    if rect.contains(p) {
+                        out.push(start + i as RecordId);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Filters a selection vector in place, keeping the rows that satisfy the
+    /// predicate.
+    #[inline]
+    fn filter(&self, selection: &mut Vec<RecordId>) {
+        // One variant dispatch per *batch*, not per row.
+        match self {
+            CompiledPredicate::Keyword { docs, token } => match token {
+                Some(t) => selection.retain(|&rid| docs.doc_contains(rid as usize, *t)),
+                None => selection.clear(),
+            },
+            CompiledPredicate::Time { col, range } => {
+                selection.retain(|&rid| range.contains(col[rid as usize]))
+            }
+            CompiledPredicate::NumericInt { col, range } => {
+                selection.retain(|&rid| range.contains(col[rid as usize] as f64))
+            }
+            CompiledPredicate::NumericFloat { col, range } => {
+                selection.retain(|&rid| range.contains(col[rid as usize]))
+            }
+            CompiledPredicate::NumericTimestamp { col, range } => {
+                selection.retain(|&rid| range.contains(col[rid as usize] as f64))
+            }
+            CompiledPredicate::Spatial { col, rect } => {
+                selection.retain(|&rid| rect.contains(&col[rid as usize]))
+            }
+        }
+    }
+}
+
+/// Lowers one predicate against `table`, binding the column slice and resolving
+/// the keyword token. Fails exactly when the interpreter's per-row evaluation
+/// would fail (wrong column type, out-of-range attribute).
+pub fn compile_predicate<'a>(pred: &Predicate, table: &'a Table) -> Result<CompiledPredicate<'a>> {
+    Ok(match pred {
+        Predicate::KeywordContains { attr, keyword } => CompiledPredicate::Keyword {
+            docs: table.text_docs(*attr)?,
+            token: table.dictionary().lookup(keyword),
+        },
+        Predicate::TimeRange { attr, range } => CompiledPredicate::Time {
+            col: table.timestamp_slice(*attr)?,
+            range: *range,
+        },
+        Predicate::NumericRange { attr, range } => {
+            // Mirror `Table::numeric`: Int, Float and Timestamp columns all
+            // support the generic numeric view.
+            if let Ok(col) = table.int_slice(*attr) {
+                CompiledPredicate::NumericInt { col, range: *range }
+            } else if let Ok(col) = table.timestamp_slice(*attr) {
+                CompiledPredicate::NumericTimestamp { col, range: *range }
+            } else {
+                CompiledPredicate::NumericFloat {
+                    col: table.float_slice(*attr)?,
+                    range: *range,
+                }
+            }
+        }
+        Predicate::SpatialRange { attr, rect } => CompiledPredicate::Spatial {
+            col: table.geo_slice(*attr)?,
+            rect: *rect,
+        },
+    })
+}
+
+/// Lowers the predicates at `indices` (into `preds`). Returns `Err` when any of
+/// them cannot bind its column — the caller falls back to the interpreter.
+pub fn compile_predicates<'a>(
+    preds: &[Predicate],
+    indices: &[usize],
+    table: &'a Table,
+) -> Result<Vec<CompiledPredicate<'a>>> {
+    indices
+        .iter()
+        .map(|&i| {
+            let pred = preds
+                .get(i)
+                .ok_or(crate::error::Error::InvalidAttribute(i))?;
+            compile_predicate(pred, table)
+        })
+        .collect()
+}
+
+/// Evaluates the compiled conjunction for one row with short-circuiting,
+/// counting each predicate evaluation exactly like the interpreter. Used on the
+/// row-capped path, where batching would evaluate rows the interpreter never
+/// reaches.
+#[inline]
+pub fn eval_row(preds: &[CompiledPredicate<'_>], rid: RecordId, work: &mut WorkProfile) -> bool {
+    for pred in preds {
+        work.filter_evals += 1;
+        if !pred.eval(rid) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs predicates `1..` of the conjunction over an already-seeded selection
+/// vector and appends the survivors. Predicate 0 was applied by the caller
+/// (either by seeding the vector or via [`CompiledPredicate::filter_range`]).
+#[inline]
+fn finish_batch(
+    rest: &[CompiledPredicate<'_>],
+    selection: &mut Vec<RecordId>,
+    qualifying: &mut Vec<RecordId>,
+    work: &mut WorkProfile,
+) {
+    for pred in rest {
+        if selection.is_empty() {
+            break;
+        }
+        work.filter_evals += selection.len() as u64;
+        pred.filter(selection);
+    }
+    qualifying.extend_from_slice(selection);
+}
+
+/// Batch-qualifies the contiguous row range `rows` through the compiled
+/// conjunction, appending survivors to `qualifying`. The first predicate
+/// streams each batch's column stripe directly ([`CompiledPredicate::filter_range`]);
+/// later predicates filter the shrinking selection vector.
+///
+/// `filter_evals` accounting matches the short-circuiting interpreter exactly:
+/// predicate `k` is charged once per row that survived predicates `0..k`.
+pub fn qualify_range(
+    preds: &[CompiledPredicate<'_>],
+    rows: std::ops::Range<RecordId>,
+    qualifying: &mut Vec<RecordId>,
+    work: &mut WorkProfile,
+    mut per_batch_rows: impl FnMut(&mut WorkProfile, u64),
+) {
+    let mut selection: Vec<RecordId> = Vec::with_capacity(BATCH_ROWS);
+    let mut start = rows.start;
+    while start < rows.end {
+        let end = rows.end.min(start + BATCH_ROWS as RecordId);
+        per_batch_rows(work, (end - start) as u64);
+        selection.clear();
+        match preds.first() {
+            Some(first) => {
+                work.filter_evals += (end - start) as u64;
+                first.filter_range(start, end, &mut selection);
+            }
+            None => selection.extend(start..end),
+        }
+        finish_batch(
+            preds.get(1..).unwrap_or(&[]),
+            &mut selection,
+            qualifying,
+            work,
+        );
+        start = end;
+    }
+}
+
+/// Batch-qualifies an explicit record-id list (index candidates, sample rows)
+/// through the compiled conjunction. Same accounting as [`qualify_range`].
+pub fn qualify_slice(
+    preds: &[CompiledPredicate<'_>],
+    rids: &[RecordId],
+    qualifying: &mut Vec<RecordId>,
+    work: &mut WorkProfile,
+    mut per_batch_rows: impl FnMut(&mut WorkProfile, u64),
+) {
+    let mut selection: Vec<RecordId> = Vec::with_capacity(BATCH_ROWS);
+    for chunk in rids.chunks(BATCH_ROWS) {
+        per_batch_rows(work, chunk.len() as u64);
+        selection.clear();
+        selection.extend_from_slice(chunk);
+        if let Some(first) = preds.first() {
+            work.filter_evals += selection.len() as u64;
+            first.filter(&mut selection);
+        }
+        finish_batch(
+            preds.get(1..).unwrap_or(&[]),
+            &mut selection,
+            qualifying,
+            work,
+        );
+    }
+}
+
+/// Batch-qualifies an arbitrary record-id stream (e.g. the hash-sampled scan)
+/// through the compiled conjunction. Same accounting as [`qualify_range`].
+pub fn qualify_batches(
+    preds: &[CompiledPredicate<'_>],
+    candidates: impl Iterator<Item = RecordId>,
+    qualifying: &mut Vec<RecordId>,
+    work: &mut WorkProfile,
+    mut per_batch_rows: impl FnMut(&mut WorkProfile, u64),
+) {
+    let mut selection: Vec<RecordId> = Vec::with_capacity(BATCH_ROWS);
+    let mut source = candidates.peekable();
+    while source.peek().is_some() {
+        selection.clear();
+        selection.extend(source.by_ref().take(BATCH_ROWS));
+        per_batch_rows(work, selection.len() as u64);
+        if let Some(first) = preds.first() {
+            work.filter_evals += selection.len() as u64;
+            first.filter(&mut selection);
+        }
+        finish_batch(
+            preds.get(1..).unwrap_or(&[]),
+            &mut selection,
+            qualifying,
+            work,
+        );
+    }
+}
+
+/// The outcome of binned-count accumulation: how many cells are non-empty
+/// (charged to `output_rows`) and, only when the caller materializes, the
+/// sorted `(bin, count)` pairs — count-only executions (the simulated-time
+/// probes, the hottest loop in the repo) skip building and sorting pairs they
+/// would immediately discard.
+pub struct BinnedAccum {
+    /// Number of non-empty cells.
+    pub distinct_bins: u64,
+    /// Sorted `(bin id, count)` pairs; `None` when not materialized.
+    pub pairs: Option<Vec<(u32, u64)>>,
+}
+
+/// Bins the geo points of the qualifying rows: dense `Vec<u64>` accumulation
+/// when the grid is bounded, `HashMap` otherwise. Both produce identical
+/// output (counts per non-empty cell, sorted by bin id).
+///
+/// The dense path zeroes and rescans `cells` slots, so it must also be cheap
+/// *relative to the rows being binned*: frontend-sized grids (≤ 4096 cells)
+/// always qualify, bigger ones only when the row count is at least a
+/// comparable fraction of the grid — a hundred rows on a 2^20-cell grid would
+/// otherwise pay an 8 MiB zero + sweep to save a hundred hash inserts.
+pub fn bin_counts(
+    grid: &BinGrid,
+    geo: &[GeoPoint],
+    qualifying: &[RecordId],
+    materialize: bool,
+) -> BinnedAccum {
+    let cells = grid.cell_count();
+    let dense = cells > 0
+        && cells <= DENSE_GRID_MAX_CELLS
+        && (cells <= 4096 || cells <= qualifying.len().saturating_mul(8));
+    if dense {
+        let mut counts: Vec<u64> = vec![0; cells];
+        for &rid in qualifying {
+            let p = geo[rid as usize];
+            if let Some(bin) = grid.bin_of(p.lon, p.lat) {
+                counts[bin as usize] += 1;
+            }
+        }
+        if materialize {
+            let pairs: Vec<(u32, u64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(bin, &c)| (bin as u32, c))
+                .collect();
+            BinnedAccum {
+                distinct_bins: pairs.len() as u64,
+                pairs: Some(pairs),
+            }
+        } else {
+            BinnedAccum {
+                distinct_bins: counts.iter().filter(|&&c| c > 0).count() as u64,
+                pairs: None,
+            }
+        }
+    } else {
+        sparse_bin_accum(
+            grid,
+            qualifying.iter().map(|&rid| geo[rid as usize]),
+            materialize,
+        )
+    }
+}
+
+/// Sparse binning shared by the compiled engine's large-grid fallback and the
+/// interpreter: `HashMap` accumulation, sorted pairs only when materialized —
+/// the single place the non-dense accumulation semantics live, so the engines
+/// cannot drift.
+pub(crate) fn sparse_bin_accum(
+    grid: &BinGrid,
+    points: impl Iterator<Item = GeoPoint>,
+    materialize: bool,
+) -> BinnedAccum {
+    let mut bins: HashMap<u32, u64> = HashMap::new();
+    for p in points {
+        if let Some(bin) = grid.bin_of(p.lon, p.lat) {
+            *bins.entry(bin).or_insert(0) += 1;
+        }
+    }
+    let distinct_bins = bins.len() as u64;
+    let pairs = materialize.then(|| {
+        let mut pairs: Vec<(u32, u64)> = bins.into_iter().collect();
+        pairs.sort_unstable();
+        pairs
+    });
+    BinnedAccum {
+        distinct_bins,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Predicate;
+    use crate::schema::{ColumnType, TableSchema};
+    use crate::storage::TableBuilder;
+
+    fn table() -> Table {
+        let schema = TableSchema::new("t")
+            .with_column("id", ColumnType::Int)
+            .with_column("when", ColumnType::Timestamp)
+            .with_column("loc", ColumnType::Geo)
+            .with_column("text", ColumnType::Text)
+            .with_column("score", ColumnType::Float);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..100i64 {
+            b.push_row(|row| {
+                row.set_int("id", i);
+                row.set_timestamp("when", i * 10);
+                row.set_geo("loc", -120.0 + i as f64 * 0.1, 30.0 + (i % 10) as f64);
+                row.set_text("text", if i % 3 == 0 { &["hot"] } else { &["cold"] });
+                row.set_float("score", i as f64 / 2.0);
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn compiled_predicates_match_interpreted_eval() {
+        let t = table();
+        let preds = [
+            Predicate::keyword(3, "hot"),
+            Predicate::time_range(1, 100, 500),
+            Predicate::spatial_range(2, GeoRect::new(-119.0, 30.0, -115.0, 35.0)),
+            Predicate::numeric_range(0, 10.0, 60.0),
+            Predicate::numeric_range(4, 5.0, 20.0),
+            Predicate::numeric_range(1, 100.0, 300.0),
+        ];
+        for pred in &preds {
+            let compiled = compile_predicate(pred, &t).unwrap();
+            for rid in 0..t.row_count() as RecordId {
+                let expected = super::super::executor::eval_predicate(pred, &t, rid).unwrap();
+                assert_eq!(compiled.eval(rid), expected, "{pred:?} row {rid}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_compiles_to_always_false() {
+        let t = table();
+        let compiled = compile_predicate(&Predicate::keyword(3, "missing"), &t).unwrap();
+        assert!(!compiled.eval(0));
+        let mut sel = vec![0, 1, 2];
+        compiled.filter(&mut sel);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn type_mismatch_fails_to_compile() {
+        let t = table();
+        assert!(compile_predicate(&Predicate::keyword(0, "hot"), &t).is_err());
+        assert!(compile_predicate(&Predicate::time_range(2, 0, 1), &t).is_err());
+        assert!(compile_predicate(&Predicate::numeric_range(3, 0.0, 1.0), &t).is_err());
+        assert!(compile_predicate(
+            &Predicate::spatial_range(0, GeoRect::new(0.0, 0.0, 1.0, 1.0)),
+            &t
+        )
+        .is_err());
+        assert!(compile_predicate(&Predicate::keyword(9, "hot"), &t).is_err());
+    }
+
+    #[test]
+    fn batch_filter_evals_match_short_circuit_counts() {
+        let t = table();
+        let preds = compile_predicates(
+            &[
+                Predicate::time_range(1, 0, 490),
+                Predicate::keyword(3, "hot"),
+            ],
+            &[0, 1],
+            &t,
+        )
+        .unwrap();
+        let rows = t.row_count() as RecordId;
+        let mut row_work = WorkProfile::default();
+        let mut expected = Vec::new();
+        for rid in 0..rows {
+            row_work.seq_rows += 1;
+            if eval_row(&preds, rid, &mut row_work) {
+                expected.push(rid);
+            }
+        }
+        // Predicate 0 passes rows 0..=49 (timestamps 0..=490), so predicate 1 is
+        // charged exactly 50 evaluations on top of predicate 0's 100.
+        assert_eq!(row_work.filter_evals, 150);
+
+        // All three batch entry points agree with the short-circuiting loop.
+        let all_rids: Vec<RecordId> = (0..rows).collect();
+        let seq = |w: &mut WorkProfile, n: u64| w.seq_rows += n;
+        for entry in 0..3 {
+            let mut work = WorkProfile::default();
+            let mut qualifying = Vec::new();
+            match entry {
+                0 => qualify_range(&preds, 0..rows, &mut qualifying, &mut work, seq),
+                1 => qualify_slice(&preds, &all_rids, &mut qualifying, &mut work, seq),
+                _ => qualify_batches(&preds, 0..rows, &mut qualifying, &mut work, seq),
+            }
+            assert_eq!(qualifying, expected, "entry point {entry}");
+            assert_eq!(work, row_work, "entry point {entry}");
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_binning_agree() {
+        let t = table();
+        let geo = t.geo_slice(2).unwrap();
+        let qualifying: Vec<RecordId> = (0..t.row_count() as RecordId).collect();
+        let grid = BinGrid::new(GeoRect::new(-120.0, 30.0, -110.0, 40.0), 8, 8);
+        let dense = bin_counts(&grid, geo, &qualifying, true);
+        let dense_pairs = dense.pairs.expect("materialized");
+        // Compare against an independent hand-rolled HashMap pass.
+        let mut bins: HashMap<u32, u64> = HashMap::new();
+        for &rid in &qualifying {
+            let p = geo[rid as usize];
+            if let Some(bin) = grid.bin_of(p.lon, p.lat) {
+                *bins.entry(bin).or_insert(0) += 1;
+            }
+        }
+        let mut sparse: Vec<(u32, u64)> = bins.into_iter().collect();
+        sparse.sort_unstable();
+        assert_eq!(dense_pairs, sparse);
+        assert_eq!(dense.distinct_bins as usize, dense_pairs.len());
+        assert!(!dense_pairs.is_empty());
+        // Count-only accumulation reports the same distinct-bin count without
+        // building pairs.
+        let count_only = bin_counts(&grid, geo, &qualifying, false);
+        assert_eq!(count_only.distinct_bins, dense.distinct_bins);
+        assert!(count_only.pairs.is_none());
+    }
+}

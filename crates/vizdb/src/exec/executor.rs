@@ -10,14 +10,15 @@ use std::collections::HashMap;
 
 use crate::approx::ApproxRule;
 use crate::error::{Error, Result};
+use crate::exec::compiled::{self, ExecEngine};
 use crate::exec::result::QueryResult;
 use crate::hints::JoinMethod;
-use crate::index::{intersect_sorted, BPlusTree, InvertedIndex, RTree};
+use crate::index::{intersect_adaptive, BPlusTree, InvertedIndex, RTree};
 use crate::plan::PhysicalPlan;
-use crate::query::{OutputKind, Predicate, Query};
+use crate::query::{BinGrid, OutputKind, Predicate, Query};
 use crate::storage::{SampleTable, Table};
 use crate::timing::{hash_unit, WorkProfile};
-use crate::types::RecordId;
+use crate::types::{RecordId, TokenId};
 
 /// Borrowed view over everything the executor needs for one table.
 #[derive(Clone, Copy)]
@@ -58,6 +59,35 @@ pub fn execute(
     limit_rows: Option<usize>,
     materialize: bool,
 ) -> Result<ExecOutcome> {
+    execute_with(
+        query,
+        plan,
+        fact,
+        dim,
+        limit_rows,
+        materialize,
+        ExecEngine::Compiled,
+    )
+}
+
+/// [`execute`] with an explicit choice of execution engine.
+///
+/// The compiled engine lowers the residual predicates once, evaluates them over
+/// record-id batches with a selection-vector loop, and bins bounded grids
+/// densely; it is observationally identical to the interpreter (same
+/// [`QueryResult`] bytes, same [`WorkProfile`]), which the
+/// `exec_equivalence` property suite pins. Queries whose predicates cannot
+/// compile (type mismatch, bad attribute) silently take the interpreter path so
+/// error behaviour is identical too.
+pub fn execute_with(
+    query: &Query,
+    plan: &PhysicalPlan,
+    fact: &ExecTable<'_>,
+    dim: Option<&ExecTable<'_>>,
+    limit_rows: Option<usize>,
+    materialize: bool,
+    engine: ExecEngine,
+) -> Result<ExecOutcome> {
     let mut work = WorkProfile::default();
 
     // Resolve the row restriction induced by sampling approximation rules.
@@ -77,40 +107,123 @@ pub fn execute(
     };
 
     // Phase 2: qualify rows (residual predicates), honouring the LIMIT cap.
+    // The vector is pre-sized from the planner's cardinality estimate instead of
+    // growing from empty (bounded by the cap and the table itself).
     let cap = limit_rows.unwrap_or(usize::MAX).max(1);
-    let mut qualifying: Vec<RecordId> = Vec::new();
+    let reserve = (plan.est_rows as usize)
+        .min(cap)
+        .min(fact.table.row_count());
+    let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
     match candidates {
         Some(cands) => {
-            for rid in cands {
-                work.heap_fetches += 1;
-                if eval_preds(query, &plan.filter_preds, fact.table, rid, &mut work)? {
-                    qualifying.push(rid);
-                    if qualifying.len() >= cap {
-                        break;
+            let residual = compile_residual(query, &plan.filter_preds, fact.table, engine);
+            match residual {
+                // Uncapped: every candidate is heap-fetched, so batches are exact.
+                Some(preds) if limit_rows.is_none() => compiled::qualify_slice(
+                    &preds,
+                    &cands,
+                    &mut qualifying,
+                    &mut work,
+                    |w, rows| w.heap_fetches += rows,
+                ),
+                // Capped: row-at-a-time so rows past the cap stay untouched,
+                // exactly like the interpreter.
+                Some(preds) => {
+                    for rid in cands {
+                        work.heap_fetches += 1;
+                        if compiled::eval_row(&preds, rid, &mut work) {
+                            qualifying.push(rid);
+                            if qualifying.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let tokens = resolve_keyword_tokens(query, fact.table);
+                    for rid in cands {
+                        work.heap_fetches += 1;
+                        if eval_preds(
+                            query,
+                            &plan.filter_preds,
+                            &tokens,
+                            fact.table,
+                            rid,
+                            &mut work,
+                        )? {
+                            qualifying.push(rid);
+                            if qualifying.len() >= cap {
+                                break;
+                            }
+                        }
                     }
                 }
             }
         }
         None => {
             // Sequential scan over the (possibly sampled) table.
-            let iter: Box<dyn Iterator<Item = RecordId>> = match &restriction {
-                SampleRestriction::All => Box::new(0..fact.table.row_count() as RecordId),
-                SampleRestriction::SampleRows(rows) => Box::new(rows.iter().copied()),
-                SampleRestriction::HashFraction(frac) => {
-                    let frac = *frac;
-                    Box::new(
-                        (0..fact.table.row_count() as RecordId)
-                            .filter(move |&rid| hash_unit(rid as u64 ^ 0x5EED) < frac),
-                    )
+            let row_count = fact.table.row_count() as RecordId;
+            let boxed_iter = || -> Box<dyn Iterator<Item = RecordId> + '_> {
+                match &restriction {
+                    SampleRestriction::All => Box::new(0..row_count),
+                    SampleRestriction::SampleRows(rows) => Box::new(rows.iter().copied()),
+                    SampleRestriction::HashFraction(frac) => {
+                        let frac = *frac;
+                        Box::new(
+                            (0..row_count)
+                                .filter(move |&rid| hash_unit(rid as u64 ^ 0x5EED) < frac),
+                        )
+                    }
                 }
             };
             let all_preds: Vec<usize> = (0..query.predicate_count()).collect();
-            for rid in iter {
-                work.seq_rows += 1;
-                if eval_preds(query, &all_preds, fact.table, rid, &mut work)? {
-                    qualifying.push(rid);
-                    if qualifying.len() >= cap {
-                        break;
+            let residual = compile_residual(query, &all_preds, fact.table, engine);
+            match residual {
+                // Uncapped: the batch entry point matching the restriction shape
+                // (contiguous range, materialised id list, filtered stream).
+                Some(preds) if limit_rows.is_none() => {
+                    let seq = |w: &mut WorkProfile, rows: u64| w.seq_rows += rows;
+                    match &restriction {
+                        SampleRestriction::All => compiled::qualify_range(
+                            &preds,
+                            0..row_count,
+                            &mut qualifying,
+                            &mut work,
+                            seq,
+                        ),
+                        SampleRestriction::SampleRows(rows) => {
+                            compiled::qualify_slice(&preds, rows, &mut qualifying, &mut work, seq)
+                        }
+                        SampleRestriction::HashFraction(_) => compiled::qualify_batches(
+                            &preds,
+                            boxed_iter(),
+                            &mut qualifying,
+                            &mut work,
+                            seq,
+                        ),
+                    }
+                }
+                Some(preds) => {
+                    for rid in boxed_iter() {
+                        work.seq_rows += 1;
+                        if compiled::eval_row(&preds, rid, &mut work) {
+                            qualifying.push(rid);
+                            if qualifying.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    let tokens = resolve_keyword_tokens(query, fact.table);
+                    for rid in boxed_iter() {
+                        work.seq_rows += 1;
+                        if eval_preds(query, &all_preds, &tokens, fact.table, rid, &mut work)? {
+                            qualifying.push(rid);
+                            if qualifying.len() >= cap {
+                                break;
+                            }
+                        }
                     }
                 }
             }
@@ -158,20 +271,24 @@ pub fn execute(
         }
         OutputKind::BinnedCounts { point_attr, grid } => {
             work.grouped_rows += qualifying.len() as u64;
-            let mut bins: HashMap<u32, u64> = HashMap::new();
-            for &rid in &qualifying {
-                let p = fact.table.geo(*point_attr, rid)?;
-                if let Some(bin) = grid.bin_of(p.lon, p.lat) {
-                    *bins.entry(bin).or_insert(0) += 1;
+            let binned = match engine {
+                // Bind the geo column once and bin densely; a failed binding
+                // falls back to the per-row path, which reports the same error
+                // the interpreter would.
+                ExecEngine::Compiled => match fact.table.geo_slice(*point_attr) {
+                    Ok(geo) => compiled::bin_counts(grid, geo, &qualifying, materialize),
+                    Err(_) => {
+                        binned_accum(fact.table, *point_attr, grid, &qualifying, materialize)?
+                    }
+                },
+                ExecEngine::Interpreted => {
+                    binned_accum(fact.table, *point_attr, grid, &qualifying, materialize)?
                 }
-            }
-            work.output_rows += bins.len() as u64;
-            if materialize {
-                let mut pairs: Vec<(u32, u64)> = bins.into_iter().collect();
-                pairs.sort_unstable();
-                QueryResult::Bins(pairs)
-            } else {
-                QueryResult::Count(qualifying.len() as u64)
+            };
+            work.output_rows += binned.distinct_bins;
+            match binned.pairs {
+                Some(pairs) => QueryResult::Bins(pairs),
+                None => QueryResult::Count(qualifying.len() as u64),
             }
         }
         OutputKind::Count => {
@@ -185,6 +302,44 @@ pub fn execute(
         work,
         result_rows,
     })
+}
+
+/// Lowers the residual predicate list for the compiled engine; `None` routes to
+/// the interpreter (either by request or because a predicate failed to bind its
+/// column, e.g. a type mismatch the interpreter must surface per row).
+fn compile_residual<'a>(
+    query: &Query,
+    indices: &[usize],
+    table: &'a Table,
+    engine: ExecEngine,
+) -> Option<Vec<compiled::CompiledPredicate<'a>>> {
+    match engine {
+        ExecEngine::Compiled => {
+            compiled::compile_predicates(&query.predicates, indices, table).ok()
+        }
+        ExecEngine::Interpreted => None,
+    }
+}
+
+/// Interpreter-path binning: per-row geo access with error propagation, then
+/// the shared sparse accumulation ([`compiled::sparse_bin_accum`]), so both
+/// engines bin through one implementation.
+fn binned_accum(
+    table: &Table,
+    point_attr: usize,
+    grid: &BinGrid,
+    qualifying: &[RecordId],
+    materialize: bool,
+) -> Result<compiled::BinnedAccum> {
+    let mut points = Vec::with_capacity(qualifying.len());
+    for &rid in qualifying {
+        points.push(table.geo(point_attr, rid)?);
+    }
+    Ok(compiled::sparse_bin_accum(
+        grid,
+        points.into_iter(),
+        materialize,
+    ))
 }
 
 /// How sampling approximation rules restrict the scanned rows.
@@ -248,9 +403,12 @@ fn index_candidates(
         lists.push(rids);
     }
     if lists.len() > 1 {
+        // The cost model still charges the classic merge (the *simulated* database
+        // intersects record lists entry-by-entry); the galloping intersection below
+        // only changes how fast the simulator itself computes the identical result.
         work.intersect_entries += lists.iter().map(|l| l.len() as u64).sum::<u64>();
     }
-    let candidates = intersect_sorted(&lists);
+    let candidates = intersect_adaptive(&lists);
     Ok(restriction.filter(candidates))
 }
 
@@ -321,11 +479,33 @@ fn column_name(table: &Table, attr: usize) -> String {
         .to_string()
 }
 
+/// Resolves the dictionary token of every keyword predicate once per execution,
+/// so the interpreter's row loop never touches the dictionary. Entries for
+/// non-keyword predicates are `None` and unused.
+pub(crate) fn resolve_keyword_tokens(query: &Query, table: &Table) -> Vec<Option<TokenId>> {
+    query
+        .predicates
+        .iter()
+        .map(|p| resolve_keyword_token(p, table))
+        .collect()
+}
+
+/// The pre-resolved dictionary token of a keyword predicate (`None` for other
+/// predicate kinds and for keywords absent from the dictionary).
+pub(crate) fn resolve_keyword_token(pred: &Predicate, table: &Table) -> Option<TokenId> {
+    match pred {
+        Predicate::KeywordContains { keyword, .. } => table.dictionary().lookup(keyword),
+        _ => None,
+    }
+}
+
 /// Evaluates the predicates at `pred_indices` against row `rid`, counting every
-/// evaluation performed (short-circuiting on the first failure).
+/// evaluation performed (short-circuiting on the first failure). `tokens` holds
+/// the per-predicate pre-resolved keyword tokens from [`resolve_keyword_tokens`].
 fn eval_preds(
     query: &Query,
     pred_indices: &[usize],
+    tokens: &[Option<TokenId>],
     table: &Table,
     rid: RecordId,
     work: &mut WorkProfile,
@@ -333,17 +513,23 @@ fn eval_preds(
     for &i in pred_indices {
         let pred = query.predicates.get(i).ok_or(Error::InvalidAttribute(i))?;
         work.filter_evals += 1;
-        if !eval_predicate(pred, table, rid)? {
+        if !eval_resolved(pred, tokens.get(i).copied().flatten(), table, rid)? {
             return Ok(false);
         }
     }
     Ok(true)
 }
 
-/// Evaluates one predicate against one row.
-pub(crate) fn eval_predicate(pred: &Predicate, table: &Table, rid: RecordId) -> Result<bool> {
+/// Evaluates one predicate against one row, with the keyword token already
+/// resolved by the caller (hoisted out of the row loop).
+pub(crate) fn eval_resolved(
+    pred: &Predicate,
+    token: Option<TokenId>,
+    table: &Table,
+    rid: RecordId,
+) -> Result<bool> {
     match pred {
-        Predicate::KeywordContains { attr, keyword } => match table.dictionary().lookup(keyword) {
+        Predicate::KeywordContains { attr, .. } => match token {
             Some(token) => table.text_contains(*attr, rid, token),
             None => Ok(false),
         },
@@ -351,6 +537,13 @@ pub(crate) fn eval_predicate(pred: &Predicate, table: &Table, rid: RecordId) -> 
         Predicate::NumericRange { attr, range } => Ok(range.contains(table.numeric(*attr, rid)?)),
         Predicate::SpatialRange { attr, rect } => Ok(rect.contains(&table.geo(*attr, rid)?)),
     }
+}
+
+/// Evaluates one predicate against one row, resolving the keyword token on the
+/// spot. One-shot callers only — loops should hoist via [`resolve_keyword_token`].
+#[cfg(test)]
+pub(crate) fn eval_predicate(pred: &Predicate, table: &Table, rid: RecordId) -> Result<bool> {
+    eval_resolved(pred, resolve_keyword_token(pred, table), table, rid)
 }
 
 /// Executes the join of qualifying fact rows with the dimension table and returns the
@@ -365,21 +558,28 @@ fn execute_join(
     work: &mut WorkProfile,
 ) -> Result<Vec<RecordId>> {
     let dim_rows = dim.table.row_count();
+    // Resolve keyword tokens of the dimension predicates once, not per dim row.
+    let right_tokens: Vec<Option<TokenId>> = spec
+        .right_predicates
+        .iter()
+        .map(|p| resolve_keyword_token(p, dim.table))
+        .collect();
+    let eval_right = |rid: RecordId, work: &mut WorkProfile| -> Result<bool> {
+        for (pred, &token) in spec.right_predicates.iter().zip(&right_tokens) {
+            work.filter_evals += 1;
+            if !eval_resolved(pred, token, dim.table, rid)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
     match method {
         JoinMethod::Hash => {
             // Build: hash every dimension row that passes the dimension predicates.
             work.hash_build_rows += dim_rows as u64;
             let mut hash: HashMap<i64, RecordId> = HashMap::with_capacity(dim_rows);
             for rid in 0..dim_rows as RecordId {
-                let mut pass = true;
-                for pred in &spec.right_predicates {
-                    work.filter_evals += 1;
-                    if !eval_predicate(pred, dim.table, rid)? {
-                        pass = false;
-                        break;
-                    }
-                }
-                if pass {
+                if eval_right(rid, work)? {
                     hash.insert(dim.table.int(spec.right_attr, rid)?, rid);
                 }
             }
@@ -420,15 +620,7 @@ fn execute_join(
                     (None, None) => None,
                 };
                 if let Some(drid) = dim_rid {
-                    let mut pass = true;
-                    for pred in &spec.right_predicates {
-                        work.filter_evals += 1;
-                        if !eval_predicate(pred, dim.table, drid)? {
-                            pass = false;
-                            break;
-                        }
-                    }
-                    if pass {
+                    if eval_right(drid, work)? {
                         out.push(rid);
                     }
                 }
@@ -460,15 +652,7 @@ fn execute_join(
                     std::cmp::Ordering::Greater => j += 1,
                     std::cmp::Ordering::Equal => {
                         let drid = right[j].1;
-                        let mut pass = true;
-                        for pred in &spec.right_predicates {
-                            work.filter_evals += 1;
-                            if !eval_predicate(pred, dim.table, drid)? {
-                                pass = false;
-                                break;
-                            }
-                        }
-                        if pass {
+                        if eval_right(drid, work)? {
                             out.push(left[i].1);
                         }
                         i += 1;

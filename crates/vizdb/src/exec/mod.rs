@@ -1,8 +1,15 @@
 //! Plan execution over in-memory tables.
+//!
+//! Two observationally identical engines share the executor skeleton: the
+//! row-at-a-time interpreter (the semantic reference) and the compiled columnar
+//! batch engine in [`compiled`] (the default), which lowers predicates once per
+//! execution and evaluates them over record-id batches.
 
+pub mod compiled;
 mod executor;
 mod result;
 
-pub(crate) use executor::eval_predicate as executor_eval;
-pub use executor::{execute, ExecOutcome, ExecTable};
+pub use compiled::{CompiledPredicate, ExecEngine, DENSE_GRID_MAX_CELLS};
+pub(crate) use executor::{eval_resolved, resolve_keyword_token};
+pub use executor::{execute, execute_with, ExecOutcome, ExecTable};
 pub use result::QueryResult;

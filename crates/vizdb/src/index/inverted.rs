@@ -109,8 +109,16 @@ pub struct InvertedIndex {
 impl InvertedIndex {
     /// Builds the index from per-row token lists (`docs[rid]` = tokens of row `rid`).
     pub fn build(docs: &[Vec<TokenId>]) -> Self {
+        Self::from_docs(docs.iter().map(|d| d.as_slice()))
+    }
+
+    /// Builds the index from an iterator of per-row token slices (row id =
+    /// iteration order), e.g. a CSR-flattened [`crate::storage::TextColumn`].
+    pub fn from_docs<'a>(docs: impl Iterator<Item = &'a [TokenId]>) -> Self {
         let mut lists: HashMap<TokenId, Vec<RecordId>> = HashMap::new();
-        for (rid, tokens) in docs.iter().enumerate() {
+        let mut indexed_rows = 0usize;
+        for (rid, tokens) in docs.enumerate() {
+            indexed_rows += 1;
             for &t in tokens {
                 lists.entry(t).or_default().push(rid as RecordId);
             }
@@ -121,7 +129,7 @@ impl InvertedIndex {
             .collect();
         Self {
             postings,
-            indexed_rows: docs.len(),
+            indexed_rows,
         }
     }
 

@@ -60,6 +60,75 @@ pub fn intersect_sorted(lists: &[Vec<RecordId>]) -> Vec<RecordId> {
     }
 }
 
+/// Adaptive intersection of several ascending-sorted record-id lists: gallops
+/// each element of the (progressively shrinking) smallest list through the
+/// larger ones with exponential search instead of merging every pair
+/// element-by-element. The result is identical to [`intersect_sorted`] but the
+/// cost is `O(n_small · log(n_big / n_small))` per list — the regime index
+/// plans actually hit, where one highly selective posting list meets a huge
+/// range scan.
+pub fn intersect_adaptive(lists: &[Vec<RecordId>]) -> Vec<RecordId> {
+    match lists.len() {
+        0 => Vec::new(),
+        1 => lists[0].clone(),
+        _ => {
+            let mut order: Vec<usize> = (0..lists.len()).collect();
+            order.sort_by_key(|&i| lists[i].len());
+            let mut acc = lists[order[0]].clone();
+            for &i in &order[1..] {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = gallop_intersect(&acc, &lists[i]);
+            }
+            acc
+        }
+    }
+}
+
+/// Intersects a small sorted list into a large one by galloping: for each probe
+/// the search window doubles from where the previous probe landed, then a binary
+/// search pins the exact position inside the window.
+fn gallop_intersect(small: &[RecordId], large: &[RecordId]) -> Vec<RecordId> {
+    let mut out = Vec::with_capacity(small.len());
+    let mut cursor = 0usize;
+    for &v in small {
+        cursor = gallop_to(large, cursor, v);
+        if cursor >= large.len() {
+            break;
+        }
+        if large[cursor] == v {
+            out.push(v);
+            cursor += 1;
+        }
+    }
+    out
+}
+
+/// The first index `>= from` with `large[idx] >= v` (or `large.len()`), found by
+/// doubling the step from `from` and binary-searching the final window.
+fn gallop_to(large: &[RecordId], from: usize, v: RecordId) -> usize {
+    if from >= large.len() || large[from] >= v {
+        return from;
+    }
+    // Invariant: large[prev] < v; the answer lies in (prev, hi].
+    let mut step = 1usize;
+    let mut prev = from;
+    loop {
+        let next = match from.checked_add(step) {
+            Some(n) if n < large.len() => n,
+            _ => break,
+        };
+        if large[next] >= v {
+            break;
+        }
+        prev = next;
+        step <<= 1;
+    }
+    let hi = from.saturating_add(step).min(large.len());
+    prev + 1 + large[prev + 1..hi].partition_point(|&x| x < v)
+}
+
 fn intersect_two(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0usize, 0usize);
@@ -140,6 +209,36 @@ mod tests {
                     .collect();
                 prop_assert_eq!(intersect_sorted(&lists), expected);
             }
+
+            #[test]
+            fn adaptive_intersection_matches_merge(
+                a in proptest::collection::btree_set(0u32..500, 0..80),
+                b in proptest::collection::btree_set(0u32..500, 0..300),
+                c in proptest::collection::btree_set(0u32..500, 0..300),
+            ) {
+                let lists = vec![
+                    a.iter().copied().collect::<Vec<_>>(),
+                    b.iter().copied().collect::<Vec<_>>(),
+                    c.iter().copied().collect::<Vec<_>>(),
+                ];
+                prop_assert_eq!(intersect_adaptive(&lists), intersect_sorted(&lists));
+            }
         }
+    }
+
+    #[test]
+    fn adaptive_handles_trivial_shapes() {
+        assert!(intersect_adaptive(&[]).is_empty());
+        assert_eq!(intersect_adaptive(&[vec![3, 9]]), vec![3, 9]);
+        assert!(intersect_adaptive(&[vec![1, 2], vec![]]).is_empty());
+        assert_eq!(
+            intersect_adaptive(&[vec![5, 900], (0..1000u32).collect()]),
+            vec![5, 900]
+        );
+        // A probe past the end of the large list must terminate cleanly.
+        assert_eq!(
+            intersect_adaptive(&[vec![5, 2000], (0..1000u32).collect()]),
+            vec![5]
+        );
     }
 }

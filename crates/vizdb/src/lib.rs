@@ -66,4 +66,5 @@ pub use backend::{QueryBackend, SharedBackend};
 pub use cache::FingerprintCache;
 pub use db::{Database, DbConfig, DbProfile, RunOutcome};
 pub use error::{Error, Result};
+pub use exec::ExecEngine;
 pub use sharded::{ShardedBackend, ShardedBackendBuilder};

@@ -85,6 +85,16 @@ impl Planner {
             right_attr: spec.right_attr,
         });
 
+        // Estimated qualifying fact rows: the executor pre-sizes its result
+        // vector from this. A pure function of the query and the statistics, so
+        // identical queries keep producing identical plans.
+        let fact_selectivity: f64 = query
+            .predicates
+            .iter()
+            .map(|p| estimate_selectivity(meta, p))
+            .product();
+        let est_rows = (meta.row_count as f64 * fact_selectivity).ceil().max(0.0) as u64;
+
         PhysicalPlan {
             table: query.table.clone(),
             index_preds,
@@ -92,6 +102,7 @@ impl Planner {
             join,
             approx,
             hinted,
+            est_rows,
         }
     }
 

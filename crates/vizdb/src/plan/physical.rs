@@ -36,6 +36,10 @@ pub struct PhysicalPlan {
     /// Whether the plan was produced by following a hint (`true`) or by the engine's
     /// own cost-based choice (`false`).
     pub hinted: bool,
+    /// The planner's cardinality estimate for the qualifying fact rows (0 when
+    /// unknown). The executor pre-sizes its qualifying-row vector from this; it
+    /// does not affect plan shape, signatures or results.
+    pub est_rows: u64,
 }
 
 impl PhysicalPlan {
@@ -48,6 +52,7 @@ impl PhysicalPlan {
             join: None,
             approx: None,
             hinted: false,
+            est_rows: 0,
         }
     }
 

@@ -57,7 +57,9 @@
 //!   expected kept fraction as the single backend, not a byte-identical row set
 //!   (it is an approximation rule; quality metrics measure it as such).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use crate::backend::QueryBackend;
 use crate::db::{Database, DbConfig, RunOutcome};
@@ -87,6 +89,117 @@ struct TablePartition {
 impl TablePartition {
     fn is_replicated(&self) -> bool {
         self.geo_attr.is_none()
+    }
+}
+
+/// A job dispatched to a shard worker thread.
+type ShardJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// One worker's inbox: a mutex-protected deque, a condvar waking the worker,
+/// and a shutdown flag flipped when the pool is dropped.
+struct JobQueue {
+    jobs: Mutex<VecDeque<ShardJob>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The persistent shard worker pool: one dedicated thread per shard, spawned
+/// **once** when the backend is built and fed per-request jobs through
+/// per-shard queues. A multi-shard request pays a queue handshake per
+/// overlapping shard instead of a `std::thread::scope` spawn + join, and jobs
+/// for one shard always run on the same worker (shard affinity keeps that
+/// shard's tables hot in its core's cache).
+struct ShardWorkerPool {
+    queues: Vec<Arc<JobQueue>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    jobs_dispatched: AtomicU64,
+}
+
+impl ShardWorkerPool {
+    fn start(workers: usize) -> Self {
+        let queues: Vec<Arc<JobQueue>> = (0..workers)
+            .map(|_| {
+                Arc::new(JobQueue {
+                    jobs: Mutex::new(VecDeque::new()),
+                    ready: Condvar::new(),
+                    shutdown: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        let handles = queues
+            .iter()
+            .cloned()
+            .map(|queue| {
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut jobs = queue.jobs.lock().expect("shard worker queue poisoned");
+                        loop {
+                            if let Some(job) = jobs.pop_front() {
+                                break Some(job);
+                            }
+                            if queue.shutdown.load(Ordering::Acquire) {
+                                break None;
+                            }
+                            jobs = queue.ready.wait(jobs).expect("shard worker queue poisoned");
+                        }
+                    };
+                    match job {
+                        // A panicking job must not take the worker down with it:
+                        // this thread serves every future request for its shard,
+                        // and a dead worker would leave those requests parked in
+                        // `fan_out`'s receive loop forever. The panicked job's
+                        // result sender drops during unwinding, so the in-flight
+                        // request surfaces an internal error instead.
+                        Some(job) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+        Self {
+            queues,
+            handles,
+            jobs_dispatched: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `job` on `shard`'s dedicated worker.
+    fn dispatch(&self, shard: usize, job: ShardJob) {
+        self.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
+        let queue = &self.queues[shard];
+        queue
+            .jobs
+            .lock()
+            .expect("shard worker queue poisoned")
+            .push_back(job);
+        queue.ready.notify_one();
+    }
+
+    fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn jobs_dispatched(&self) -> u64 {
+        self.jobs_dispatched.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ShardWorkerPool {
+    fn drop(&mut self) {
+        for queue in &self.queues {
+            // Flip the flag while holding the queue mutex: a worker checks
+            // `shutdown` under that lock right before parking in `wait`, so an
+            // unlocked store + notify could land in between and the wakeup
+            // would be lost, leaving `join` below blocked forever.
+            let _guard = queue.jobs.lock().expect("shard worker queue poisoned");
+            queue.shutdown.store(true, Ordering::Release);
+            queue.ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -226,10 +339,14 @@ impl ShardedBackendBuilder {
         Ok(())
     }
 
-    /// Finalises the backend.
+    /// Finalises the backend, spawning the persistent worker pool (one thread
+    /// per shard) that serves every subsequent multi-shard request.
     pub fn build(self) -> ShardedBackend {
+        let shards: Vec<Arc<Database>> = self.shards.into_iter().map(Arc::new).collect();
+        let pool = ShardWorkerPool::start(shards.len());
         ShardedBackend {
-            shards: self.shards,
+            shards,
+            pool,
             partitions: self.partitions,
             schemas: self.schemas,
             global_stats: self.global_stats,
@@ -259,7 +376,9 @@ impl ShardedBackendBuilder {
 
 /// N per-region [`Database`] shards behind the [`QueryBackend`] surface.
 pub struct ShardedBackend {
-    shards: Vec<Database>,
+    shards: Vec<Arc<Database>>,
+    /// Spawned once at build; fed per-request via per-shard job queues.
+    pool: ShardWorkerPool,
     partitions: HashMap<String, TablePartition>,
     schemas: HashMap<String, TableSchema>,
     global_stats: HashMap<String, TableStats>,
@@ -355,30 +474,53 @@ impl ShardedBackend {
         Ok(targets)
     }
 
-    /// Fans `f` out over the target shards on scoped threads, preserving shard
-    /// order in the returned vector. Scoped spawn-per-call keeps the borrow-based
-    /// API (no `'static` jobs, no per-shard query clones); `run` pays it once per
-    /// materialised request, while the estimate path stays thread-free — a
-    /// persistent shard worker pool is a ROADMAP follow-on.
-    fn fan_out<R: Send>(
+    /// Observability over the persistent pool: `(worker threads, total jobs
+    /// dispatched)`. The worker count is fixed at build time — no per-request
+    /// thread spawns — while the job counter grows with multi-shard requests.
+    pub fn pool_stats(&self) -> (usize, u64) {
+        (self.pool.workers(), self.pool.jobs_dispatched())
+    }
+
+    /// Fans `f` out over the target shards, preserving shard order in the
+    /// returned vector: the caller executes the first target inline and the
+    /// persistent worker pool (spawned once when the backend is built) serves
+    /// the rest, so a multi-shard request pays one queue handshake per
+    /// *additional* overlapping shard instead of a scoped thread spawn + join;
+    /// the estimate path stays thread-free entirely.
+    fn fan_out<R: Send + 'static>(
         &self,
         targets: &[usize],
-        f: impl Fn(&Database) -> Result<R> + Sync,
+        f: impl Fn(&Database) -> Result<R> + Send + Sync + 'static,
     ) -> Result<Vec<R>> {
         if targets.len() == 1 {
             return Ok(vec![f(&self.shards[targets[0]])?]);
         }
+        let f = Arc::new(f);
+        let (tx, rx) = mpsc::channel::<(usize, Result<R>)>();
+        for (slot, &shard) in targets.iter().enumerate().skip(1) {
+            let f = Arc::clone(&f);
+            let db = Arc::clone(&self.shards[shard]);
+            let tx = tx.clone();
+            self.pool.dispatch(
+                shard,
+                Box::new(move || {
+                    let _ = tx.send((slot, f(&db)));
+                }),
+            );
+        }
+        drop(tx);
         let mut slots: Vec<Option<Result<R>>> = Vec::new();
         slots.resize_with(targets.len(), || None);
-        std::thread::scope(|scope| {
-            for (slot, &shard) in slots.iter_mut().zip(targets) {
-                let f = &f;
-                let db = &self.shards[shard];
-                scope.spawn(move || {
-                    *slot = Some(f(db));
-                });
-            }
-        });
+        // The caller would otherwise sit blocked in the receive loop, so it
+        // executes the first target itself — under concurrent serving, every
+        // in-flight request contributes its own thread instead of all of them
+        // queueing behind the one worker a hot shard owns.
+        slots[0] = Some(f(&self.shards[targets[0]]));
+        // The receive loop ends when every job's sender is gone; a worker that
+        // died mid-job leaves its slot empty, surfaced as an internal error.
+        while let Ok((slot, result)) = rx.recv() {
+            slots[slot] = Some(result);
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -544,7 +686,13 @@ impl QueryBackend for ShardedBackend {
             }
             return Ok(outcome);
         }
-        let outcomes = self.fan_out(&targets, |shard| shard.run(query, ro))?;
+        let outcomes = {
+            // Pool jobs are `'static`: clone the request into the shared closure
+            // (cheap next to executing it on every overlapping shard).
+            let query = query.clone();
+            let ro = ro.clone();
+            self.fan_out(&targets, move |shard| shard.run(&query, &ro))?
+        };
         Self::merge_outcomes(query, outcomes)
     }
 
@@ -614,7 +762,7 @@ impl QueryBackend for ShardedBackend {
     }
 
     fn generation(&self) -> u64 {
-        self.shards.iter().map(Database::generation).sum()
+        self.shards.iter().map(|shard| shard.generation()).sum()
     }
 
     fn clear_caches(&self) {
@@ -1028,6 +1176,89 @@ mod tests {
         single.register_table(&events).unwrap();
         single.register_table(&checkins).unwrap();
         assert!(single.build().run(&q, &ro).is_ok());
+    }
+
+    /// The worker pool is spawned once at build time and survives across
+    /// sequential multi-shard requests: the worker count never changes (no
+    /// per-request spawn), the job counter grows by exactly the fan-out of each
+    /// request, and every request merges byte-identically to the unsharded
+    /// reference.
+    #[test]
+    fn worker_pool_survives_sequential_multi_shard_requests() {
+        let table = build_table(2_000);
+        let reference = single_db(&table);
+        let backend = sharded(&table, 4);
+        let (workers, jobs_before) = backend.pool_stats();
+        assert_eq!(workers, 4, "one persistent worker per shard");
+        assert_eq!(jobs_before, 0, "no jobs before the first request");
+
+        let ro = RewriteOption::original();
+        let mut expected_jobs = 0u64;
+        for (i, rect) in [
+            GeoRect::new(-125.0, 25.0, -66.0, 49.0),
+            GeoRect::new(-121.0, 25.0, -75.0, 49.0),
+            GeoRect::new(-125.0, 28.0, -70.0, 45.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let q = viewport(rect, 8, 8);
+            let targets = backend.overlapping_shards(&q).unwrap();
+            assert!(
+                targets.len() > 1,
+                "test premise: request {i} must fan out to several shards"
+            );
+            // The caller runs the first target inline; the rest are pool jobs.
+            expected_jobs += targets.len() as u64 - 1;
+            assert_eq!(
+                reference.run(&q, &ro).unwrap().result,
+                backend.run(&q, &ro).unwrap().result,
+                "request {i} diverged"
+            );
+            let (workers_now, jobs_now) = backend.pool_stats();
+            assert_eq!(
+                workers_now, 4,
+                "request {i} must not spawn additional workers"
+            );
+            assert_eq!(
+                jobs_now, expected_jobs,
+                "request {i} must dispatch exactly one job per overlapping shard beyond the \
+                 caller-executed one"
+            );
+        }
+    }
+
+    /// A panicking job must not kill its worker: the thread serves every future
+    /// request for its shard, so it swallows the panic and keeps draining its
+    /// queue.
+    #[test]
+    fn worker_survives_a_panicking_job() {
+        let pool = ShardWorkerPool::start(1);
+        pool.dispatch(0, Box::new(|| panic!("job blew up")));
+        let (tx, rx) = std::sync::mpsc::channel();
+        pool.dispatch(
+            0,
+            Box::new(move || {
+                tx.send(42u32).unwrap();
+            }),
+        );
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)),
+            Ok(42),
+            "the worker must keep serving jobs after one panics"
+        );
+    }
+
+    /// Single-shard routes bypass the pool entirely (the query runs inline on
+    /// the caller's thread), so narrow viewports dispatch no jobs.
+    #[test]
+    fn single_shard_routes_bypass_the_pool() {
+        let table = build_table(1_000);
+        let backend = sharded(&table, 8);
+        let narrow = viewport(GeoRect::new(-120.3, 25.0, -119.9, 49.0), 4, 4);
+        assert_eq!(backend.overlapping_shards(&narrow).unwrap().len(), 1);
+        backend.run(&narrow, &RewriteOption::original()).unwrap();
+        assert_eq!(backend.pool_stats().1, 0, "inline route must not enqueue");
     }
 
     #[test]

@@ -6,4 +6,4 @@ mod table;
 
 pub use dictionary::Dictionary;
 pub use sample::SampleTable;
-pub use table::{ColumnData, RowWriter, Table, TableBuilder};
+pub use table::{ColumnData, RowWriter, Table, TableBuilder, TextColumn};

@@ -7,6 +7,101 @@ use crate::schema::{ColumnType, TableSchema};
 use crate::storage::Dictionary;
 use crate::types::{GeoPoint, RecordId, Timestamp, TokenId};
 
+/// Tokenised text documents in a flat CSR layout: row `r`'s sorted,
+/// deduplicated token list is `tokens[offsets[r] .. offsets[r + 1]]`.
+///
+/// Keyword scans walk one contiguous token array instead of chasing a heap
+/// pointer per row (the `Vec<Vec<TokenId>>` layout this replaced), which is
+/// what lets the compiled execution engine stream text predicates at memory
+/// bandwidth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextColumn {
+    /// `rows + 1` offsets into `tokens`; `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// All documents' tokens, concatenated in row order.
+    tokens: Vec<TokenId>,
+}
+
+impl TextColumn {
+    /// An empty column (zero rows).
+    pub fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Number of stored documents (rows).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Returns `true` when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted token list of row `row`.
+    pub fn doc(&self, row: usize) -> &[TokenId] {
+        &self.tokens[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+    }
+
+    /// Returns `true` when row `row`'s document contains `token`.
+    ///
+    /// Typical documents are a handful of tokens, where a branchless sweep (no
+    /// early exit, so it vectorizes) beats a binary search full of
+    /// unpredictable branches; long documents fall back to the search.
+    pub fn doc_contains(&self, row: usize, token: TokenId) -> bool {
+        let doc = self.doc(row);
+        if doc.len() <= 32 {
+            doc.iter().fold(false, |acc, &t| acc | (t == token))
+        } else {
+            doc.binary_search(&token).is_ok()
+        }
+    }
+
+    /// Appends one document (the caller guarantees sorted, deduplicated tokens).
+    pub fn push_doc(&mut self, tokens: &[TokenId]) {
+        self.tokens.extend_from_slice(tokens);
+        let offset = u32::try_from(self.tokens.len())
+            .expect("text column exceeds u32::MAX total tokens; CSR offsets would wrap");
+        self.offsets.push(offset);
+    }
+
+    /// Iterates all documents in row order.
+    pub fn docs(&self) -> impl ExactSizeIterator<Item = &[TokenId]> {
+        (0..self.len()).map(|row| self.doc(row))
+    }
+
+    /// Pushes the rows in `[start, end)` whose document contains `token`,
+    /// scanning the rows' **flat token stripe** once instead of searching each
+    /// document: one predictable equality sweep over contiguous memory, with
+    /// the (rare) match positions mapped back to their rows through the offset
+    /// array. Documents are deduplicated, so a row matches at most once.
+    pub fn rows_containing(&self, start: usize, end: usize, token: TokenId, out: &mut Vec<u32>) {
+        let stripe_start = self.offsets[start] as usize;
+        let stripe_end = self.offsets[end] as usize;
+        let mut row = start;
+        for (i, &t) in self.tokens[stripe_start..stripe_end].iter().enumerate() {
+            if t == token {
+                let pos = (stripe_start + i) as u32;
+                // Positions arrive in ascending order; the row cursor only
+                // moves forward, so the remap is linear over the batch.
+                while self.offsets[row + 1] <= pos {
+                    row += 1;
+                }
+                out.push(row as u32);
+            }
+        }
+    }
+}
+
+impl Default for TextColumn {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Physical storage for one column. Variants correspond to [`ColumnType`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ColumnData {
@@ -18,8 +113,8 @@ pub enum ColumnData {
     Timestamp(Vec<Timestamp>),
     /// Geographic point column.
     Geo(Vec<GeoPoint>),
-    /// Tokenised text documents (each row is a sorted, deduplicated token list).
-    Text(Vec<Vec<TokenId>>),
+    /// Tokenised text documents (CSR-flattened, see [`TextColumn`]).
+    Text(TextColumn),
 }
 
 impl ColumnData {
@@ -29,7 +124,7 @@ impl ColumnData {
             ColumnType::Float => ColumnData::Float(Vec::new()),
             ColumnType::Timestamp => ColumnData::Timestamp(Vec::new()),
             ColumnType::Geo => ColumnData::Geo(Vec::new()),
-            ColumnType::Text => ColumnData::Text(Vec::new()),
+            ColumnType::Text => ColumnData::Text(TextColumn::new()),
         }
     }
 
@@ -135,7 +230,7 @@ impl Table {
     /// Token list at (`col`, `row`).
     pub fn text(&self, col: usize, row: RecordId) -> Result<&[TokenId]> {
         match self.column(col)? {
-            ColumnData::Text(v) => Ok(&v[row as usize]),
+            ColumnData::Text(v) => Ok(v.doc(row as usize)),
             other => Err(self.type_err(col, "Text", other)),
         }
     }
@@ -143,6 +238,47 @@ impl Table {
     /// Returns `true` when the document at (`col`, `row`) contains `token`.
     pub fn text_contains(&self, col: usize, row: RecordId, token: TokenId) -> Result<bool> {
         Ok(self.text(col, row)?.binary_search(&token).is_ok())
+    }
+
+    /// The full integer column at `col` as a typed slice (compiled execution binds
+    /// columns once per query instead of re-matching the variant per row).
+    pub fn int_slice(&self, col: usize) -> Result<&[i64]> {
+        match self.column(col)? {
+            ColumnData::Int(v) => Ok(v),
+            other => Err(self.type_err(col, "Int", other)),
+        }
+    }
+
+    /// The full float column at `col` as a typed slice.
+    pub fn float_slice(&self, col: usize) -> Result<&[f64]> {
+        match self.column(col)? {
+            ColumnData::Float(v) => Ok(v),
+            other => Err(self.type_err(col, "Float", other)),
+        }
+    }
+
+    /// The full timestamp column at `col` as a typed slice.
+    pub fn timestamp_slice(&self, col: usize) -> Result<&[Timestamp]> {
+        match self.column(col)? {
+            ColumnData::Timestamp(v) => Ok(v),
+            other => Err(self.type_err(col, "Timestamp", other)),
+        }
+    }
+
+    /// The full geo column at `col` as a typed slice.
+    pub fn geo_slice(&self, col: usize) -> Result<&[GeoPoint]> {
+        match self.column(col)? {
+            ColumnData::Geo(v) => Ok(v),
+            other => Err(self.type_err(col, "Geo", other)),
+        }
+    }
+
+    /// The CSR-flattened text column at `col`.
+    pub fn text_docs(&self, col: usize) -> Result<&TextColumn> {
+        match self.column(col)? {
+            ColumnData::Text(v) => Ok(v),
+            other => Err(self.type_err(col, "Text", other)),
+        }
     }
 
     /// Numeric view of an Int/Float/Timestamp value, used by generic numeric predicates.
@@ -178,9 +314,10 @@ impl Table {
                     ColumnData::Geo(keep.iter().map(|&r| v[r as usize]).collect())
                 }
                 ColumnData::Text(docs) => {
-                    let mut subset_docs = Vec::with_capacity(keep.len());
+                    let mut subset_docs = TextColumn::new();
                     for &r in keep {
-                        let mut tokens: Vec<TokenId> = docs[r as usize]
+                        let mut tokens: Vec<TokenId> = docs
+                            .doc(r as usize)
                             .iter()
                             .map(|&t| {
                                 let word = self.dictionary.word(t).ok_or_else(|| {
@@ -199,7 +336,7 @@ impl Table {
                         for &t in &tokens {
                             dictionary.bump_doc_freq(t);
                         }
-                        subset_docs.push(tokens);
+                        subset_docs.push_doc(&tokens);
                     }
                     ColumnData::Text(subset_docs)
                 }
@@ -287,7 +424,7 @@ impl RowWriter<'_> {
             self.builder.dictionary.bump_doc_freq(t);
         }
         if let ColumnData::Text(v) = &mut self.builder.columns[idx] {
-            v.push(tokens);
+            v.push_doc(&tokens);
         } else {
             panic!("column {column} is not a Text column");
         }

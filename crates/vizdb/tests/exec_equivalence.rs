@@ -1,0 +1,168 @@
+//! Property test: the compiled columnar batch engine is observationally
+//! identical to the row-at-a-time interpreter. For random tables, predicates,
+//! hint-forced plans, approximation rules, grids and limits, both engines must
+//! produce the same `QueryResult` bytes, the same `WorkProfile` (and therefore
+//! the same simulated execution time) and the same plan. This pins the core
+//! invariant of the execution-engine rewrite: compilation is a speed-up, never
+//! a semantic change.
+
+use proptest::prelude::*;
+
+use vizdb::approx::ApproxRule;
+use vizdb::hints::{HintSet, RewriteOption};
+use vizdb::query::{BinGrid, OutputKind, Predicate, Query};
+use vizdb::schema::{ColumnType, TableSchema};
+use vizdb::storage::TableBuilder;
+use vizdb::types::GeoRect;
+use vizdb::{Database, DbConfig, ExecEngine};
+
+fn build_db(points: &[(f64, f64)], keyword_every: usize) -> Database {
+    let schema = TableSchema::new("events")
+        .with_column("id", ColumnType::Int)
+        .with_column("when", ColumnType::Timestamp)
+        .with_column("loc", ColumnType::Geo)
+        .with_column("text", ColumnType::Text)
+        .with_column("score", ColumnType::Float);
+    let mut b = TableBuilder::new(schema);
+    for (i, &(lon, lat)) in points.iter().enumerate() {
+        b.push_row(|row| {
+            row.set_int("id", i as i64);
+            row.set_timestamp("when", i as i64 * 5);
+            row.set_geo("loc", lon, lat);
+            let unique = format!("u{i}");
+            let words: Vec<&str> = if i % keyword_every.max(1) == 0 {
+                vec!["hot", unique.as_str()]
+            } else {
+                vec!["cold", unique.as_str()]
+            };
+            row.set_text("text", &words);
+            row.set_float("score", (i % 37) as f64);
+        });
+    }
+    let mut db = Database::new(DbConfig::default());
+    db.register_table(b.build()).unwrap();
+    db.build_all_indexes("events").unwrap();
+    db.build_sample("events", 20).unwrap();
+    db
+}
+
+/// Runs `query` under `ro` through both engines and asserts full observational
+/// equality.
+fn assert_engines_agree(db: &Database, query: &Query, ro: &RewriteOption) {
+    let interpreted = db.run_with_engine(query, ro, ExecEngine::Interpreted);
+    // Drop the time cache so the compiled run computes its own time rather
+    // than reporting the interpreter's canonical cached value — the time
+    // assertion below must be able to fail.
+    db.clear_caches();
+    let compiled = db.run_with_engine(query, ro, ExecEngine::Compiled);
+    match (interpreted, compiled) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.result, b.result, "results diverged for {query:?}");
+            assert_eq!(a.work, b.work, "work profiles diverged for {query:?}");
+            assert_eq!(a.time_ms, b.time_ms, "times diverged for {query:?}");
+            assert_eq!(a.plan, b.plan, "plans diverged for {query:?}");
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "errors diverged");
+        }
+        (a, b) => panic!("one engine failed where the other succeeded: {a:?} vs {b:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random predicates, every hint-forced plan shape, every output kind.
+    #[test]
+    fn compiled_matches_interpreter_across_plans(
+        points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 30..180),
+        keyword_every in 2usize..6,
+        mask in 0u32..8,
+        t_hi in 1i64..900,
+        score_hi in 1.0f64..40.0,
+        lon_a in -125.0f64..-65.0,
+        lon_w in 1.0f64..55.0,
+        cols in 1u32..20,
+        rows in 1u32..20,
+    ) {
+        let db = build_db(&points, keyword_every);
+        let rect = GeoRect::new(lon_a, 20.0, lon_a + lon_w, 50.0);
+        let base = Query::select("events")
+            .filter(Predicate::keyword(3, "hot"))
+            .filter(Predicate::time_range(1, 0, t_hi))
+            .filter(Predicate::spatial_range(2, rect));
+        let ro = RewriteOption::hinted(HintSet::with_mask(mask));
+        // Count output plus a residual-only numeric predicate.
+        let count_q = base
+            .clone()
+            .filter(Predicate::numeric_range(4, 0.0, score_hi))
+            .output(OutputKind::Count);
+        assert_engines_agree(&db, &count_q, &ro);
+        // Scatterplot output.
+        let points_q = base.clone().output(OutputKind::Points { id_attr: 0, point_attr: 2 });
+        assert_engines_agree(&db, &points_q, &ro);
+        // Heatmap output (dense-grid binning on the compiled path).
+        let heatmap_q = base.output(OutputKind::BinnedCounts {
+            point_attr: 2,
+            grid: BinGrid::new(rect, cols, rows),
+        });
+        assert_engines_agree(&db, &heatmap_q, &ro);
+    }
+
+    /// Approximation rules and row caps take the capped row-at-a-time path;
+    /// the engines must stay identical there too.
+    #[test]
+    fn compiled_matches_interpreter_under_approx_and_limits(
+        points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 30..150),
+        mask in 0u32..8,
+        approx_pick in 0usize..4,
+        limit in 1usize..80,
+        t_hi in 1i64..700,
+    ) {
+        let db = build_db(&points, 3);
+        let query = Query::select("events")
+            .filter(Predicate::keyword(3, "hot"))
+            .filter(Predicate::time_range(1, 0, t_hi))
+            .output(OutputKind::Count)
+            .limit(limit);
+        let hints = HintSet::with_mask(mask);
+        let ro = match approx_pick {
+            0 => RewriteOption::hinted(hints),
+            1 => RewriteOption::approximate(hints, ApproxRule::SampleTable { fraction_pct: 20 }),
+            2 => RewriteOption::approximate(hints, ApproxRule::TableSample { fraction_pct: 50 }),
+            _ => RewriteOption::approximate(hints, ApproxRule::LimitPermille { permille: 250 }),
+        };
+        assert_engines_agree(&db, &query, &ro);
+    }
+}
+
+/// A type-mismatched predicate cannot compile; the compiled engine must fall
+/// back to the interpreter and surface the identical per-row error (or the
+/// identical absence of one on an empty scan).
+#[test]
+fn uncompilable_predicates_fall_back_identically() {
+    let db = build_db(&[(-100.0, 30.0), (-99.0, 31.0)], 2);
+    // numeric range over the text column: interpreter errors on the first row.
+    let bad = Query::select("events")
+        .filter(Predicate::numeric_range(3, 0.0, 1.0))
+        .output(OutputKind::Count);
+    assert_engines_agree(&db, &bad, &RewriteOption::original());
+    // Out-of-range attribute behaves the same way.
+    let oob = Query::select("events")
+        .filter(Predicate::time_range(17, 0, 10))
+        .output(OutputKind::Count);
+    assert_engines_agree(&db, &oob, &RewriteOption::original());
+}
+
+/// Unknown keywords compile to an always-false predicate — same empty result on
+/// both engines, same work accounting.
+#[test]
+fn unknown_keyword_is_identical_on_both_engines() {
+    let db = build_db(&[(-100.0, 30.0), (-99.0, 31.0), (-98.0, 32.0)], 2);
+    let q = Query::select("events")
+        .filter(Predicate::keyword(3, "nosuchword"))
+        .output(OutputKind::Count);
+    for mask in [0u32, 1] {
+        assert_engines_agree(&db, &q, &RewriteOption::hinted(HintSet::with_mask(mask)));
+    }
+}
