@@ -5,10 +5,12 @@
 //! `MALIVA_SCALE` / `MALIVA_QUERIES` environment variables (see
 //! [`crate::harness::scale_from_env`]).
 
+pub mod chaos;
 pub mod exec;
 pub mod serve;
 pub mod shard;
 
+pub use chaos::run_chaos;
 pub use exec::run_exec_engine;
 pub use serve::run_serve_throughput;
 pub use shard::run_shard_scaling;
@@ -696,7 +698,7 @@ pub fn run_fig21() -> Vec<ExperimentOutput> {
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
         "table1", "table2", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve", "shard", "exec",
+        "fig18", "fig19a", "fig19b", "fig20", "fig21", "serve", "shard", "exec", "chaos",
     ]
 }
 
@@ -717,6 +719,7 @@ pub fn run_experiment(id: &str) -> Vec<ExperimentOutput> {
         "serve" => run_serve_throughput(),
         "shard" => run_shard_scaling(),
         "exec" => run_exec_engine(),
+        "chaos" => run_chaos(),
         other => panic!("unknown experiment id: {other}"),
     }
 }
@@ -755,6 +758,10 @@ pub fn experiment_descriptions() -> BTreeMap<&'static str, &'static str> {
         (
             "exec",
             "Interpreter vs compiled batch engine (wall-clock speedup + byte-identical results)",
+        ),
+        (
+            "chaos",
+            "Serving availability/p99 under injected shard faults at 0/5/20% rates",
         ),
     ])
 }

@@ -94,6 +94,9 @@ pub struct DecisionCacheStats {
     pub insertions: u64,
     /// Entries dropped because their catalog generation was stale.
     pub stale_drops: u64,
+    /// Entries explicitly invalidated by the serving layer (e.g. decisions whose
+    /// execution came back degraded).
+    pub invalidations: u64,
     /// Entries currently cached.
     pub entries: usize,
 }
@@ -173,6 +176,7 @@ pub struct DecisionCache {
     evictions: AtomicU64,
     insertions: AtomicU64,
     stale_drops: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl DecisionCache {
@@ -189,6 +193,7 @@ impl DecisionCache {
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             stale_drops: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -295,6 +300,23 @@ impl DecisionCache {
         decision
     }
 
+    /// Drops `key` from the cache, returning whether an entry was present.
+    ///
+    /// The serving layer calls this when a decision's execution comes back
+    /// [`vizdb::ResultQuality::Degraded`]: the decision itself is still valid,
+    /// but a degraded answer means the backend was partially unhealthy when it
+    /// was planned/executed, so the next arrival of the same key re-plans
+    /// against the backend's current state instead of replaying a decision
+    /// whose viability was judged against a healthier topology.
+    pub fn invalidate(&self, key: (u64, u64)) -> bool {
+        let mut shard = self.shard(key).lock();
+        let removed = shard.map.remove(&key).is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
     /// Current counter values and entry count.
     pub fn stats(&self) -> DecisionCacheStats {
         DecisionCacheStats {
@@ -303,6 +325,7 @@ impl DecisionCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
         }
     }
@@ -487,6 +510,25 @@ mod tests {
             0,
             "a fresh entry must not be counted as a stale drop"
         );
+    }
+
+    /// The degraded-response satellite (cache half): an explicit invalidation
+    /// drops exactly the targeted key, counts once, and is a no-op for keys
+    /// that are absent.
+    #[test]
+    fn invalidate_drops_only_the_targeted_key() {
+        let cache = DecisionCache::new(DecisionCacheConfig::default());
+        let a = cache.key(&query(1), 500.0);
+        let b = cache.key(&query(2), 500.0);
+        cache.insert(a, decision(1), GEN);
+        cache.insert(b, decision(2), GEN);
+        assert!(cache.invalidate(a));
+        assert!(!cache.invalidate(a), "second invalidation finds nothing");
+        assert!(cache.get(a, || GEN).is_none());
+        assert!(cache.get(b, || GEN).is_some(), "other keys must survive");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.entries, 1);
     }
 
     #[test]

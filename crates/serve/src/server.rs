@@ -20,7 +20,13 @@
 //!   database into that many per-region shards behind the same trait object;
 //! * `queue_capacity` — admission control: [`MalivaServer::serve_queued`] admits
 //!   requests into a bounded queue and sheds with an explicit
-//!   [`ServeOutcome::Rejected`] once it is full, instead of growing without bound.
+//!   [`ServeOutcome::Rejected`] once it is full, instead of growing without bound;
+//! * `enforce_deadlines` — propagates the leftover τ (budget minus planning
+//!   cost) into execution as a per-shard deadline. Independently of the knob,
+//!   every request runs through [`QueryBackend::run_with_context`], so a
+//!   composite backend that loses shards (faults, open circuit breakers)
+//!   answers from the survivors and the response reports
+//!   [`vizdb::ResultQuality::Degraded`] instead of failing the request.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -36,7 +42,9 @@ use vizdb::error::{Error, Result};
 use vizdb::exec::QueryResult;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
-use vizdb::{Database, QueryBackend, ShardedBackendBuilder};
+use vizdb::{
+    Database, ExecContext, FaultStats, QueryBackend, ResultQuality, ShardedBackendBuilder,
+};
 
 use crate::cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionCacheStats};
 
@@ -59,6 +67,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Time budget τ applied to requests that don't carry their own.
     pub default_tau_ms: f64,
+    /// When set, the leftover budget (τ minus the planning cost) is propagated
+    /// into execution as a [`vizdb::QueryDeadline`], so a composite backend cuts
+    /// off shards that would blow the budget and degrades to the survivors
+    /// instead of awaiting them. Off by default: run-to-completion semantics are
+    /// preserved exactly (and byte-identically) unless the operator opts in.
+    pub enforce_deadlines: bool,
     /// Decision-cache sizing and τ-bucketing.
     pub cache: DecisionCacheConfig,
 }
@@ -70,6 +84,7 @@ impl Default for ServeConfig {
             shards: 1,
             queue_capacity: 1024,
             default_tau_ms: 500.0,
+            enforce_deadlines: false,
             cache: DecisionCacheConfig::default(),
         }
     }
@@ -122,16 +137,36 @@ pub struct ServeResponse {
     pub viable: bool,
     /// Whether planning was answered from the decision cache.
     pub cache_hit: bool,
+    /// How complete the answer is: [`ResultQuality::Full`] when every targeted
+    /// backend partition contributed, [`ResultQuality::Degraded`] when the
+    /// backend answered from a subset of shards (deadline cut-offs, open
+    /// circuits, faults) and reports what coverage the merge achieved.
+    pub quality: ResultQuality,
     /// The materialised visualization result.
     pub result: QueryResult,
 }
 
 impl ServeResponse {
+    /// Whether the backend answered from a strict subset of its partitions.
+    pub fn is_degraded(&self) -> bool {
+        self.quality.is_degraded()
+    }
+
     /// The deterministic portion of the response — everything except
     /// `cache_hit`, which legitimately depends on request interleaving.
+    #[allow(clippy::type_complexity)]
     pub fn deterministic_view(
         &self,
-    ) -> (usize, usize, &RewriteOption, f64, f64, bool, &QueryResult) {
+    ) -> (
+        usize,
+        usize,
+        &RewriteOption,
+        f64,
+        f64,
+        bool,
+        ResultQuality,
+        &QueryResult,
+    ) {
         (
             self.request_index,
             self.chosen_index,
@@ -139,6 +174,7 @@ impl ServeResponse {
             self.planning_ms,
             self.exec_ms,
             self.viable,
+            self.quality,
             &self.result,
         )
     }
@@ -148,8 +184,14 @@ impl ServeResponse {
 /// ([`MalivaServer::serve_queued`]).
 #[derive(Debug, Clone)]
 pub enum ServeOutcome {
-    /// The request was admitted, planned and executed.
+    /// The request was admitted, planned and executed to a complete answer.
     Served(ServeResponse),
+    /// The request was admitted and answered, but the backend lost one or more
+    /// shards (deadline cut-off, open circuit, fault) and the response merges
+    /// the survivors — an on-time partial answer, not a failure. The response's
+    /// [`ServeResponse::quality`] carries the missing-shard count and the
+    /// coverage fraction.
+    Degraded(ServeResponse),
     /// The request was shed at admission time.
     Rejected {
         /// `true` when the request was shed because the bounded queue was full
@@ -160,12 +202,26 @@ pub enum ServeOutcome {
 }
 
 impl ServeOutcome {
-    /// The response, if the request was served.
+    /// Wraps a response, classifying it by its result quality.
+    fn from_response(response: ServeResponse) -> Self {
+        if response.is_degraded() {
+            Self::Degraded(response)
+        } else {
+            Self::Served(response)
+        }
+    }
+
+    /// The response, if the request was answered (fully or degraded).
     pub fn response(&self) -> Option<&ServeResponse> {
         match self {
-            Self::Served(response) => Some(response),
+            Self::Served(response) | Self::Degraded(response) => Some(response),
             Self::Rejected { .. } => None,
         }
+    }
+
+    /// Whether the request was answered from a strict subset of shards.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::Degraded(_))
     }
 
     /// Whether the request was shed.
@@ -189,6 +245,15 @@ pub struct ServeMetrics {
     pub p95_ms: f64,
     /// 99th-percentile per-request wall-clock latency in milliseconds.
     pub p99_ms: f64,
+    /// Shard attempts the backend retried during this batch.
+    pub retries: u64,
+    /// Shard executions the backend cut off at their deadline during this batch.
+    pub timeouts: u64,
+    /// Shard requests refused by an open circuit breaker during this batch.
+    pub breaker_open_skips: u64,
+    /// Requests answered degraded (merged from a strict subset of shards)
+    /// during this batch.
+    pub degraded: u64,
 }
 
 /// The `p`-th percentile (0–100) of an unsorted latency sample, by the
@@ -204,7 +269,7 @@ pub fn percentile_ms(latencies: &[f64], p: f64) -> f64 {
 }
 
 impl ServeMetrics {
-    fn from_run(wall_clock_ms: f64, latencies: &[f64]) -> Self {
+    fn from_run(wall_clock_ms: f64, latencies: &[f64], faults: &FaultStats) -> Self {
         let requests = latencies.len();
         Self {
             requests,
@@ -217,6 +282,10 @@ impl ServeMetrics {
             p50_ms: percentile_ms(latencies, 50.0),
             p95_ms: percentile_ms(latencies, 95.0),
             p99_ms: percentile_ms(latencies, 99.0),
+            retries: faults.retries,
+            timeouts: faults.timeouts,
+            breaker_open_skips: faults.breaker_open_skips,
+            degraded: faults.degraded,
         }
     }
 }
@@ -348,7 +417,25 @@ impl MalivaServer {
                 (self.cache.insert(key, planned, generation), false)
             }
         };
-        let run = self.backend.run(&request.query, &decision.rewrite)?;
+        // With deadline enforcement on, execution gets the leftover slice of τ
+        // (simulated, like every other quantity); otherwise the classic
+        // run-to-completion context. Composite backends degrade to surviving
+        // shards on shard faults either way — only hard (query) errors propagate.
+        let ctx = if self.config.enforce_deadlines {
+            ExecContext::with_deadline((tau_ms - decision.planning_ms).max(0.0))
+        } else {
+            ExecContext::unbounded()
+        };
+        let report = self
+            .backend
+            .run_with_context(&request.query, &decision.rewrite, &ctx)?;
+        if report.quality.is_degraded() {
+            // Don't let a decision that produced a degraded answer sit in the
+            // cache: the next arrival of this key re-plans against the
+            // backend's current health instead of replaying the decision.
+            self.cache.invalidate(key);
+        }
+        let run = report.outcome;
         let total_ms = decision.planning_ms + run.time_ms;
         Ok(ServeResponse {
             request_index,
@@ -359,6 +446,7 @@ impl MalivaServer {
             total_ms,
             viable: total_ms <= tau_ms,
             cache_hit,
+            quality: report.quality,
             result: run.result,
         })
     }
@@ -369,13 +457,17 @@ impl MalivaServer {
         Ok(self.serve_batch_timed(requests)?.0)
     }
 
-    /// Like [`Self::serve_batch`] but also reports wall-clock throughput and
-    /// latency percentiles.
+    /// Like [`Self::serve_batch`] but also reports wall-clock throughput,
+    /// latency percentiles and the backend's fault-handling work (retries,
+    /// deadline timeouts, breaker skips, degraded answers) attributed to this
+    /// batch as a before/after counter delta. The attribution is exact as long
+    /// as batches on the same backend don't overlap in time.
     pub fn serve_batch_timed(
         &self,
         requests: &[ServeRequest],
     ) -> Result<(Vec<ServeResponse>, ServeMetrics)> {
         let workers = self.config.workers.max(1);
+        let faults_before = self.backend.fault_stats();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<ServeResponse>>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
@@ -411,7 +503,11 @@ impl MalivaServer {
             }
         }
         let latencies: Vec<f64> = latencies.into_iter().map(Mutex::into_inner).collect();
-        Ok((responses, ServeMetrics::from_run(wall_clock_ms, &latencies)))
+        let fault_delta = self.backend.fault_stats().delta_since(&faults_before);
+        Ok((
+            responses,
+            ServeMetrics::from_run(wall_clock_ms, &latencies, &fault_delta),
+        ))
     }
 
     /// Serves `requests` through admission control: the calling thread submits
@@ -449,7 +545,9 @@ impl MalivaServer {
                     drop(state);
                     match index {
                         Some(i) => {
-                            let outcome = self.serve_one(i, &requests[i]).map(ServeOutcome::Served);
+                            let outcome = self
+                                .serve_one(i, &requests[i])
+                                .map(ServeOutcome::from_response);
                             *slots[i].lock() = Some(outcome);
                         }
                         None => break,
@@ -460,8 +558,12 @@ impl MalivaServer {
             for i in 0..requests.len() {
                 let mut state = queue.lock().expect("queue lock");
                 if state.0.len() >= capacity {
-                    drop(state);
+                    // Count the shed while still holding the queue lock, so the
+                    // counter moves atomically with the shed *decision*: an
+                    // observer synchronising on the queue can never see a
+                    // full-queue rejection whose count hasn't landed yet.
                     self.shed.fetch_add(1, Ordering::Relaxed);
+                    drop(state);
                     *slots[i].lock() = Some(Ok(ServeOutcome::Rejected { queue_full: true }));
                 } else {
                     state.0.push_back(i);
@@ -800,5 +902,330 @@ mod tests {
         assert_eq!(percentile_ms(&sample, 50.0), 20.0);
         assert_eq!(percentile_ms(&sample, 95.0), 40.0);
         assert_eq!(percentile_ms(&[], 99.0), 0.0);
+    }
+
+    mod fault_tolerance {
+        use super::*;
+        use vizdb::{FaultKind, FaultPlan, FaultPolicy};
+
+        /// A database whose table carries a geo column, so mirroring it
+        /// *partitions* rows by longitude (rather than replicating them) and
+        /// queries without a spatial filter fan out across **all** shards —
+        /// the topology where shard faults produce partial answers.
+        fn build_geo_db() -> Arc<Database> {
+            let schema = TableSchema::new("tweets")
+                .with_column("id", ColumnType::Int)
+                .with_column("created_at", ColumnType::Timestamp)
+                .with_column("text", ColumnType::Text)
+                .with_column("coordinates", vizdb::schema::ColumnType::Geo);
+            let mut b = TableBuilder::new(schema);
+            for i in 0..3000i64 {
+                b.push_row(|row| {
+                    row.set_int("id", i);
+                    row.set_timestamp("created_at", i * 60);
+                    let unique = format!("u{i}");
+                    let words: Vec<&str> = if i % 4 == 0 {
+                        vec!["covid", unique.as_str()]
+                    } else {
+                        vec!["weather", unique.as_str()]
+                    };
+                    row.set_text("text", &words);
+                    row.set_geo(
+                        "coordinates",
+                        -120.0 + (i % 100) as f64 * 0.1,
+                        35.0 + (i % 50) as f64 * 0.1,
+                    );
+                });
+            }
+            let mut db = Database::new(DbConfig::default());
+            db.register_table(b.build()).unwrap();
+            db.build_all_indexes("tweets").unwrap();
+            Arc::new(db)
+        }
+
+        /// Seed for the chaos tests. Overridable through `MALIVA_FAULT_SEED` so
+        /// CI can sweep seeds; every assertion below must hold for *any* seed.
+        fn fault_seed() -> u64 {
+            std::env::var("MALIVA_FAULT_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(42)
+        }
+
+        /// A server over `db` mirrored into four fault-injected shards.
+        fn chaos_server(
+            db: &Arc<Database>,
+            plan: FaultPlan,
+            policy: FaultPolicy,
+            config: ServeConfig,
+        ) -> MalivaServer {
+            let backend = Arc::new(
+                ShardedBackendBuilder::mirror_builder(db, 4)
+                    .unwrap()
+                    .with_fault_policy(policy)
+                    .build_with_faults(plan),
+            );
+            server_over(backend, config)
+        }
+
+        fn single_worker() -> ServeConfig {
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            }
+        }
+
+        /// The degraded-response satellite (server half): a decision whose
+        /// execution came back degraded is dropped from the decision cache, so
+        /// the next identical request re-plans — and, the transient fault gone,
+        /// serves a full answer again.
+        #[test]
+        fn degraded_responses_do_not_poison_the_decision_cache() {
+            let db = build_geo_db();
+            // Shard 0 fails the first request's initial attempt and both
+            // retries, then recovers.
+            let plan = FaultPlan::none(1)
+                .script(0, 0, FaultKind::Error)
+                .script(0, 1, FaultKind::Error)
+                .script(0, 2, FaultKind::Error);
+            let server = chaos_server(&db, plan, FaultPolicy::default(), single_worker());
+            let request = ServeRequest::new(make_query(0));
+
+            let first = server.serve_one(0, &request).unwrap();
+            assert!(first.is_degraded(), "shard 0 must fail all three attempts");
+            match first.quality {
+                ResultQuality::Degraded {
+                    shards_missing,
+                    coverage_fraction,
+                } => {
+                    assert_eq!(shards_missing, 1);
+                    assert!(
+                        coverage_fraction > 0.0 && coverage_fraction < 1.0,
+                        "three of four shards survived: coverage {coverage_fraction}"
+                    );
+                }
+                ResultQuality::Full => unreachable!(),
+            }
+            assert_eq!(server.cache_stats().invalidations, 1);
+
+            let second = server.serve_one(1, &request).unwrap();
+            assert!(
+                !second.cache_hit,
+                "the decision behind a degraded answer must have been dropped"
+            );
+            assert!(!second.is_degraded(), "shard 0 recovered at arrival 3");
+        }
+
+        /// The deadline knob: with enforcement on, a shard whose (simulated)
+        /// execution would blow the leftover budget is cut off and the request
+        /// degrades to the survivors; with enforcement off the same delay is
+        /// awaited — slow but complete.
+        #[test]
+        fn enforced_deadlines_degrade_instead_of_awaiting_slow_shards() {
+            let db = build_geo_db();
+            let slow_plan =
+                || FaultPlan::none(2).script(1, 0, FaultKind::Delay { extra_ms: 1.0e6 });
+
+            let enforcing = chaos_server(
+                &db,
+                slow_plan(),
+                FaultPolicy::default(),
+                ServeConfig {
+                    workers: 1,
+                    default_tau_ms: 1.0e4,
+                    enforce_deadlines: true,
+                    ..ServeConfig::default()
+                },
+            );
+            let response = enforcing
+                .serve_one(0, &ServeRequest::new(make_query(0)))
+                .unwrap();
+            assert!(response.is_degraded());
+            assert!(
+                response.exec_ms <= 1.0e4,
+                "a cut-off shard must not inflate exec time past the deadline: {}",
+                response.exec_ms
+            );
+            let stats = enforcing.backend().fault_stats();
+            assert_eq!(stats.timeouts, 1);
+            assert_eq!(stats.retries, 0, "deadline misses are never retried");
+
+            let relaxed = chaos_server(&db, slow_plan(), FaultPolicy::default(), single_worker());
+            let slow = relaxed
+                .serve_one(0, &ServeRequest::new(make_query(0)))
+                .unwrap();
+            assert!(
+                !slow.is_degraded(),
+                "without a deadline the delay is awaited"
+            );
+            assert!(slow.exec_ms >= 1.0e6);
+            assert!(!slow.viable, "an awaited mega-delay cannot meet τ");
+        }
+
+        /// The chaos acceptance test: at a seeded 20% per-shard fault rate over
+        /// a 4-shard backend, queued serving produces **zero hard errors** —
+        /// every request ends Served, Degraded (with a sane coverage fraction)
+        /// or Rejected.
+        #[test]
+        fn chaos_queued_serving_yields_no_hard_errors_at_twenty_percent_faults() {
+            let db = build_geo_db();
+            let plan = FaultPlan::with_rates(fault_seed(), 0.0, 0.20, 0.0, 0.0);
+            // No retries: every injected fault costs its shard, so the 20%
+            // rate shows up as degradation instead of being retried away.
+            let policy = FaultPolicy {
+                max_retries: 0,
+                ..FaultPolicy::default()
+            };
+            let server = chaos_server(&db, plan, policy, single_worker());
+            let outcomes = server.serve_queued(&batch(60)).unwrap();
+            assert_eq!(outcomes.len(), 60);
+
+            let mut served = 0usize;
+            let mut degraded = 0usize;
+            for outcome in &outcomes {
+                match outcome {
+                    ServeOutcome::Served(r) => {
+                        assert!(!r.is_degraded());
+                        served += 1;
+                    }
+                    ServeOutcome::Degraded(r) => {
+                        match r.quality {
+                            ResultQuality::Degraded {
+                                shards_missing,
+                                coverage_fraction,
+                            } => {
+                                assert!((1..=4).contains(&shards_missing));
+                                assert!(
+                                    (0.0..1.0).contains(&coverage_fraction),
+                                    "a degraded answer covers a strict subset: {coverage_fraction}"
+                                );
+                            }
+                            ResultQuality::Full => unreachable!("Degraded outcome, Full quality"),
+                        }
+                        degraded += 1;
+                    }
+                    ServeOutcome::Rejected { .. } => {}
+                }
+            }
+            assert!(served > 0, "some requests must dodge every fault");
+            assert!(
+                degraded > 0,
+                "a 20% per-shard fault rate must degrade some of 60 requests"
+            );
+        }
+
+        /// Chaos runs are reproducible: the same seed over a fresh identical
+        /// backend yields an identical outcome sequence (single worker, so even
+        /// cache hits are deterministic).
+        #[test]
+        fn chaos_outcome_sequences_are_deterministic_for_a_fixed_seed() {
+            let db = build_geo_db();
+            let run_once = || {
+                let plan = FaultPlan::with_rates(fault_seed(), 0.0, 0.15, 0.05, 9.0);
+                let policy = FaultPolicy {
+                    max_retries: 1,
+                    ..FaultPolicy::default()
+                };
+                chaos_server(&db, plan, policy, single_worker())
+                    .serve_batch(&batch(24))
+                    .unwrap()
+            };
+            let first = run_once();
+            let second = run_once();
+            assert_eq!(first.len(), second.len());
+            for (a, b) in first.iter().zip(&second) {
+                assert_eq!(a.deterministic_view(), b.deterministic_view());
+                assert_eq!(a.cache_hit, b.cache_hit);
+            }
+        }
+
+        /// The degradation contract's other half: a rate-0 fault plan is a
+        /// perfect no-op — served responses are byte-identical to an unfaulted
+        /// mirror backend and no fault handling is ever counted.
+        #[test]
+        fn fault_rate_zero_serving_is_byte_identical_to_the_unfaulted_backend() {
+            let db = build_geo_db();
+            let requests = batch(12);
+            let plain: Arc<dyn QueryBackend> =
+                Arc::new(ShardedBackendBuilder::mirror(&db, 4).unwrap());
+            let reference = server_over(plain, single_worker())
+                .serve_batch(&requests)
+                .unwrap();
+            let faulted = chaos_server(
+                &db,
+                FaultPlan::none(fault_seed()),
+                FaultPolicy::default(),
+                single_worker(),
+            );
+            let observed = faulted.serve_batch(&requests).unwrap();
+            for (a, b) in reference.iter().zip(&observed) {
+                assert_eq!(a.deterministic_view(), b.deterministic_view());
+            }
+            assert_eq!(
+                faulted.backend().fault_stats(),
+                FaultStats::default(),
+                "a rate-0 plan must cause no fault handling at all"
+            );
+        }
+
+        /// `serve_batch_timed` attributes the backend's fault-handling work to
+        /// the batch that caused it, as a before/after counter delta.
+        #[test]
+        fn metrics_attribute_fault_handling_to_the_batch() {
+            let db = build_geo_db();
+            let plan = FaultPlan::none(5)
+                .script(2, 0, FaultKind::Error)
+                .script(2, 1, FaultKind::Error)
+                .script(2, 2, FaultKind::Error);
+            let server = chaos_server(&db, plan, FaultPolicy::default(), single_worker());
+
+            let (responses, metrics) = server.serve_batch_timed(&batch(6)).unwrap();
+            assert_eq!(metrics.degraded, 1);
+            assert_eq!(metrics.retries, 2);
+            assert_eq!(metrics.timeouts, 0);
+            assert_eq!(metrics.breaker_open_skips, 0);
+            assert!(responses[0].is_degraded());
+            assert!(responses[1..].iter().all(|r| !r.is_degraded()));
+
+            // A second, clean batch attributes zero fault work to itself.
+            let (_, clean) = server.serve_batch_timed(&batch(6)).unwrap();
+            assert_eq!((clean.retries, clean.degraded), (0, 0));
+        }
+
+        /// The shed-counter satellite: with the count taken under the queue
+        /// lock, concurrent queued batches can never lose or double-count a
+        /// rejection — the counter equals the rejections actually returned.
+        #[test]
+        fn shed_count_matches_rejections_under_concurrent_queued_batches() {
+            let server = server_over(
+                build_db(),
+                ServeConfig {
+                    workers: 2,
+                    queue_capacity: 1,
+                    ..ServeConfig::default()
+                },
+            );
+            let requests = batch(60);
+            let rejected: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            server
+                                .serve_queued(&requests)
+                                .unwrap()
+                                .iter()
+                                .filter(|o| o.is_rejected())
+                                .count()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(
+                server.shed_count(),
+                rejected as u64,
+                "every rejection must be counted exactly once"
+            );
+        }
     }
 }

@@ -49,6 +49,7 @@ pub mod cache;
 pub mod db;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod fingerprint;
 pub mod hints;
 pub mod index;
@@ -62,9 +63,12 @@ pub mod storage;
 pub mod timing;
 pub mod types;
 
-pub use backend::{QueryBackend, SharedBackend};
+pub use backend::{
+    ExecContext, FaultStats, QueryBackend, QueryDeadline, ResultQuality, RunReport, SharedBackend,
+};
 pub use cache::FingerprintCache;
 pub use db::{Database, DbConfig, DbProfile, RunOutcome};
 pub use error::{Error, Result};
 pub use exec::ExecEngine;
-pub use sharded::{ShardedBackend, ShardedBackendBuilder};
+pub use fault::{FaultInjectingBackend, FaultKind, FaultPlan};
+pub use sharded::{BreakerState, FaultPolicy, PoolStats, ShardedBackend, ShardedBackendBuilder};

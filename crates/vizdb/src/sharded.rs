@@ -61,11 +61,13 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
-use crate::backend::QueryBackend;
+use crate::approx::ApproxRule;
+use crate::backend::{ExecContext, FaultStats, QueryBackend, ResultQuality, RunReport};
 use crate::db::{Database, DbConfig, RunOutcome};
 use crate::error::{Error, Result};
 use crate::exec::QueryResult;
-use crate::hints::RewriteOption;
+use crate::fault::{FaultInjectingBackend, FaultPlan};
+use crate::hints::{HintSet, RewriteOption};
 use crate::plan::PhysicalPlan;
 use crate::query::{OutputKind, Predicate, Query};
 use crate::schema::{ColumnType, TableSchema};
@@ -94,6 +96,17 @@ impl TablePartition {
 
 /// A job dispatched to a shard worker thread.
 type ShardJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Renders a caught panic payload for [`Error::ShardPanic`].
+fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
 
 /// One worker's inbox: a mutex-protected deque, a condvar waking the worker,
 /// and a shutdown flag flipped when the pool is dropped.
@@ -203,6 +216,187 @@ impl Drop for ShardWorkerPool {
     }
 }
 
+/// How the backend reacts to per-shard faults: bounded retry with deterministic
+/// simulated backoff, and a count-based circuit breaker per shard.
+///
+/// Everything here is expressed in **counts and simulated milliseconds**, never
+/// wall-clock time, so fault handling is as reproducible as the rest of the
+/// engine: the same request sequence trips, cools down and re-closes breakers
+/// identically on every run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Extra attempts after a transient shard fault (panic, injected
+    /// unavailability). Deadline misses are never retried — the same query can
+    /// only blow the same budget again.
+    pub max_retries: u32,
+    /// Simulated milliseconds of backoff charged per retry: the n-th retry adds
+    /// `n × backoff_ms` to the attempt's execution time.
+    pub backoff_ms: f64,
+    /// Consecutive failed *requests* (retries exhausted) after which a shard's
+    /// breaker opens.
+    pub breaker_threshold: u32,
+    /// Requests refused while open before the next arrival is admitted as the
+    /// half-open probe.
+    pub breaker_cooldown: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_ms: 4.0,
+            breaker_threshold: 3,
+            breaker_cooldown: 4,
+        }
+    }
+}
+
+/// Observable state of one shard's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are being counted.
+    Closed,
+    /// Requests are refused without touching the shard.
+    Open,
+    /// A probe is admitted; its outcome decides between re-closing and
+    /// re-opening.
+    HalfOpen,
+}
+
+enum BreakerInner {
+    Closed { consecutive_failures: u32 },
+    Open { skipped: u32 },
+    HalfOpen,
+}
+
+/// A count-based circuit breaker: closed → open after
+/// [`FaultPolicy::breaker_threshold`] consecutive failed requests; while open it
+/// refuses [`FaultPolicy::breaker_cooldown`] requests, then admits the next
+/// arrival as a half-open probe whose outcome re-closes or re-opens the circuit.
+///
+/// Cooldown is measured in refused *requests*, not elapsed wall-clock time —
+/// the deterministic analogue of the classic timer-based breaker.
+struct CircuitBreaker {
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(BreakerInner::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    fn state(&self) -> BreakerState {
+        match *self.inner.lock().expect("breaker lock poisoned") {
+            BreakerInner::Closed { .. } => BreakerState::Closed,
+            BreakerInner::Open { .. } => BreakerState::Open,
+            BreakerInner::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether a request may reach the shard. While open, refusals count toward
+    /// the cooldown; once `breaker_cooldown` requests have been refused the next
+    /// arrival flips the breaker half-open and proceeds as its probe.
+    fn admit(&self, policy: &FaultPolicy) -> bool {
+        let mut inner = self.inner.lock().expect("breaker lock poisoned");
+        match &mut *inner {
+            BreakerInner::Closed { .. } | BreakerInner::HalfOpen => true,
+            BreakerInner::Open { skipped } => {
+                if *skipped >= policy.breaker_cooldown {
+                    *inner = BreakerInner::HalfOpen;
+                    true
+                } else {
+                    *skipped += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    fn record_success(&self) {
+        *self.inner.lock().expect("breaker lock poisoned") = BreakerInner::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    fn record_failure(&self, policy: &FaultPolicy) {
+        let mut inner = self.inner.lock().expect("breaker lock poisoned");
+        match &mut *inner {
+            BreakerInner::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= policy.breaker_threshold {
+                    *inner = BreakerInner::Open { skipped: 0 };
+                }
+            }
+            // A failed half-open probe re-opens with a fresh cooldown.
+            BreakerInner::HalfOpen => *inner = BreakerInner::Open { skipped: 0 },
+            BreakerInner::Open { .. } => {}
+        }
+    }
+}
+
+/// Shared atomic fault counters — one global set per backend (cumulative) and
+/// one short-lived set per request (reported in the [`RunReport`]).
+#[derive(Default)]
+struct FaultCounters {
+    retries: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+    breaker_open_skips: AtomicU64,
+    approx_fallbacks: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl FaultCounters {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            breaker_open_skips: self.breaker_open_skips.load(Ordering::Relaxed),
+            approx_fallbacks: self.approx_fallbacks.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+
+    fn absorb(&self, stats: &FaultStats) {
+        self.retries.fetch_add(stats.retries, Ordering::Relaxed);
+        self.timeouts.fetch_add(stats.timeouts, Ordering::Relaxed);
+        self.panics.fetch_add(stats.panics, Ordering::Relaxed);
+        self.breaker_open_skips
+            .fetch_add(stats.breaker_open_skips, Ordering::Relaxed);
+        self.approx_fallbacks
+            .fetch_add(stats.approx_fallbacks, Ordering::Relaxed);
+        self.degraded.fetch_add(stats.degraded, Ordering::Relaxed);
+    }
+}
+
+/// Observability over the persistent pool and the fault-handling layer around
+/// it: worker/job counts, cumulative retry/timeout/panic/breaker counters, and
+/// a per-shard snapshot of breaker states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolStats {
+    /// Worker threads (fixed at build time, one per shard).
+    pub workers: usize,
+    /// Jobs dispatched through the per-shard queues since build.
+    pub jobs_dispatched: u64,
+    /// Shard attempts retried after a transient fault.
+    pub retries: u64,
+    /// Shard executions cut off by a deadline.
+    pub timeouts: u64,
+    /// Shard attempts that panicked (caught, surfaced as [`Error::ShardPanic`]).
+    pub panics: u64,
+    /// Requests refused because a shard's breaker was open.
+    pub breaker_open_skips: u64,
+    /// Current breaker state of every shard.
+    pub breaker_states: Vec<BreakerState>,
+}
+
 /// Builds a [`ShardedBackend`], mirroring the [`Database`] loading API
 /// (`register_table` / `build_index` / `build_sample`) shard-wise.
 pub struct ShardedBackendBuilder {
@@ -210,6 +404,8 @@ pub struct ShardedBackendBuilder {
     partitions: HashMap<String, TablePartition>,
     schemas: HashMap<String, TableSchema>,
     global_stats: HashMap<String, TableStats>,
+    sample_fractions: HashMap<String, Vec<u32>>,
+    policy: FaultPolicy,
 }
 
 impl ShardedBackendBuilder {
@@ -223,7 +419,15 @@ impl ShardedBackendBuilder {
             partitions: HashMap::new(),
             schemas: HashMap::new(),
             global_stats: HashMap::new(),
+            sample_fractions: HashMap::new(),
+            policy: FaultPolicy::default(),
         }
+    }
+
+    /// Overrides the retry/backoff/breaker policy (see [`FaultPolicy`]).
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Number of shards being built.
@@ -336,27 +540,67 @@ impl ShardedBackendBuilder {
         for shard in &mut self.shards {
             shard.build_sample(table, fraction_pct)?;
         }
+        let fractions = self.sample_fractions.entry(table.to_string()).or_default();
+        if !fractions.contains(&fraction_pct) {
+            fractions.push(fraction_pct);
+            fractions.sort_unstable();
+        }
         Ok(())
     }
 
     /// Finalises the backend, spawning the persistent worker pool (one thread
     /// per shard) that serves every subsequent multi-shard request.
     pub fn build(self) -> ShardedBackend {
-        let shards: Vec<Arc<Database>> = self.shards.into_iter().map(Arc::new).collect();
+        self.build_wrapped(|_, shard| shard)
+    }
+
+    /// Finalises the backend with each shard wrapped by `wrap(shard_index,
+    /// shard)` — the composition hook that lets decorators (fault injection,
+    /// instrumentation) sit between the fan-out machinery and the per-shard
+    /// databases without the backend knowing.
+    pub fn build_wrapped(
+        self,
+        wrap: impl Fn(usize, Arc<dyn QueryBackend>) -> Arc<dyn QueryBackend>,
+    ) -> ShardedBackend {
+        let shards: Vec<Arc<dyn QueryBackend>> = self
+            .shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, db)| wrap(i, Arc::new(db) as Arc<dyn QueryBackend>))
+            .collect();
         let pool = ShardWorkerPool::start(shards.len());
+        let breakers = Arc::new(
+            (0..shards.len())
+                .map(|_| CircuitBreaker::new())
+                .collect::<Vec<_>>(),
+        );
         ShardedBackend {
             shards,
             pool,
+            breakers,
+            faults: Arc::new(FaultCounters::default()),
+            policy: self.policy,
             partitions: self.partitions,
             schemas: self.schemas,
             global_stats: self.global_stats,
+            sample_fractions: self.sample_fractions,
         }
     }
 
-    /// Builds a sharded backend mirroring an already-loaded [`Database`]: same
-    /// configuration, tables, indexes and sample fractions. This is the
-    /// migration path from a single backend to `shards` per-region ones.
-    pub fn mirror(db: &Database, shards: usize) -> Result<ShardedBackend> {
+    /// Finalises the backend with every shard wrapped in a
+    /// [`FaultInjectingBackend`] drawing from `plan` — the chaos-testing entry
+    /// point used by the serve tests and `maliva-bench`'s `chaos` experiment.
+    pub fn build_with_faults(self, plan: FaultPlan) -> ShardedBackend {
+        let plan = Arc::new(plan);
+        self.build_wrapped(move |i, shard| {
+            Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+        })
+    }
+
+    /// A builder mirroring an already-loaded [`Database`]: same configuration,
+    /// tables, indexes and sample fractions — ready for a policy override or a
+    /// wrapped build.
+    pub fn mirror_builder(db: &Database, shards: usize) -> Result<Self> {
         let mut builder = Self::new(db.config().clone(), shards);
         for name in db.table_names() {
             builder.register_table(db.table(&name)?)?;
@@ -370,18 +614,47 @@ impl ShardedBackendBuilder {
                 builder.build_sample(&name, pct)?;
             }
         }
-        Ok(builder.build())
+        Ok(builder)
+    }
+
+    /// Builds a sharded backend mirroring an already-loaded [`Database`]: same
+    /// configuration, tables, indexes and sample fractions. This is the
+    /// migration path from a single backend to `shards` per-region ones.
+    pub fn mirror(db: &Database, shards: usize) -> Result<ShardedBackend> {
+        Ok(Self::mirror_builder(db, shards)?.build())
+    }
+
+    /// Mirrors `db` into `shards` fault-injected shards (see
+    /// [`Self::build_with_faults`]).
+    pub fn mirror_with_faults(
+        db: &Database,
+        shards: usize,
+        plan: FaultPlan,
+    ) -> Result<ShardedBackend> {
+        Ok(Self::mirror_builder(db, shards)?.build_with_faults(plan))
     }
 }
 
 /// N per-region [`Database`] shards behind the [`QueryBackend`] surface.
+///
+/// Each shard is held as an `Arc<dyn QueryBackend>` so decorators (fault
+/// injection, instrumentation) compose underneath the fan-out machinery; a
+/// plain build wraps each [`Database`] directly.
 pub struct ShardedBackend {
-    shards: Vec<Arc<Database>>,
+    shards: Vec<Arc<dyn QueryBackend>>,
     /// Spawned once at build; fed per-request via per-shard job queues.
     pool: ShardWorkerPool,
+    /// One circuit breaker per shard, shared with in-flight pool jobs.
+    breakers: Arc<Vec<CircuitBreaker>>,
+    /// Cumulative fault counters across every request since build.
+    faults: Arc<FaultCounters>,
+    policy: FaultPolicy,
     partitions: HashMap<String, TablePartition>,
     schemas: HashMap<String, TableSchema>,
     global_stats: HashMap<String, TableStats>,
+    /// Sample fractions built per table, recorded at build time for the
+    /// degraded-path sampling fallback.
+    sample_fractions: HashMap<String, Vec<u32>>,
 }
 
 // Shared across serving threads exactly like a single database.
@@ -474,11 +747,24 @@ impl ShardedBackend {
         Ok(targets)
     }
 
-    /// Observability over the persistent pool: `(worker threads, total jobs
-    /// dispatched)`. The worker count is fixed at build time — no per-request
-    /// thread spawns — while the job counter grows with multi-shard requests.
-    pub fn pool_stats(&self) -> (usize, u64) {
-        (self.pool.workers(), self.pool.jobs_dispatched())
+    /// Observability over the persistent pool and the fault-handling layer: see
+    /// [`PoolStats`]. The worker count is fixed at build time — no per-request
+    /// thread spawns — while the job and fault counters grow with traffic.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.pool.workers(),
+            jobs_dispatched: self.pool.jobs_dispatched(),
+            retries: self.faults.retries.load(Ordering::Relaxed),
+            timeouts: self.faults.timeouts.load(Ordering::Relaxed),
+            panics: self.faults.panics.load(Ordering::Relaxed),
+            breaker_open_skips: self.faults.breaker_open_skips.load(Ordering::Relaxed),
+            breaker_states: self.breakers.iter().map(|b| b.state()).collect(),
+        }
+    }
+
+    /// The retry/backoff/breaker policy this backend runs under.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
     }
 
     /// Fans `f` out over the target shards, preserving shard order in the
@@ -486,17 +772,19 @@ impl ShardedBackend {
     /// persistent worker pool (spawned once when the backend is built) serves
     /// the rest, so a multi-shard request pays one queue handshake per
     /// *additional* overlapping shard instead of a scoped thread spawn + join;
-    /// the estimate path stays thread-free entirely.
+    /// the estimate path stays thread-free entirely. A `None` slot means the
+    /// shard's worker died before reporting (infrastructure failure, not a
+    /// query error) — callers surface it as an internal error.
     fn fan_out<R: Send + 'static>(
         &self,
         targets: &[usize],
-        f: impl Fn(&Database) -> Result<R> + Send + Sync + 'static,
-    ) -> Result<Vec<R>> {
+        f: impl Fn(usize, &Arc<dyn QueryBackend>) -> R + Send + Sync + 'static,
+    ) -> Vec<Option<R>> {
         if targets.len() == 1 {
-            return Ok(vec![f(&self.shards[targets[0]])?]);
+            return vec![Some(f(targets[0], &self.shards[targets[0]]))];
         }
         let f = Arc::new(f);
-        let (tx, rx) = mpsc::channel::<(usize, Result<R>)>();
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
         for (slot, &shard) in targets.iter().enumerate().skip(1) {
             let f = Arc::clone(&f);
             let db = Arc::clone(&self.shards[shard]);
@@ -504,31 +792,316 @@ impl ShardedBackend {
             self.pool.dispatch(
                 shard,
                 Box::new(move || {
-                    let _ = tx.send((slot, f(&db)));
+                    let _ = tx.send((slot, f(shard, &db)));
                 }),
             );
         }
         drop(tx);
-        let mut slots: Vec<Option<Result<R>>> = Vec::new();
+        let mut slots: Vec<Option<R>> = Vec::new();
         slots.resize_with(targets.len(), || None);
         // The caller would otherwise sit blocked in the receive loop, so it
         // executes the first target itself — under concurrent serving, every
         // in-flight request contributes its own thread instead of all of them
         // queueing behind the one worker a hot shard owns.
-        slots[0] = Some(f(&self.shards[targets[0]]));
+        slots[0] = Some(f(targets[0], &self.shards[targets[0]]));
         // The receive loop ends when every job's sender is gone; a worker that
-        // died mid-job leaves its slot empty, surfaced as an internal error.
+        // died mid-job leaves its slot empty.
         while let Ok((slot, result)) = rx.recv() {
             slots[slot] = Some(result);
         }
         slots
-            .into_iter()
-            .map(|slot| {
-                slot.unwrap_or_else(|| {
-                    Err(Error::Internal("a shard worker never reported back".into()))
+    }
+
+    /// One fault-handled attempt cycle against a single shard: breaker
+    /// admission, panic capture, bounded retry with deterministic simulated
+    /// backoff, and deadline enforcement. Runs inline on the caller's thread
+    /// for the first target and inside pool jobs for the rest, so it borrows
+    /// only shared (`Arc`ed or `Sync`) state.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_shard(
+        shard: usize,
+        backend: &Arc<dyn QueryBackend>,
+        breaker: &CircuitBreaker,
+        policy: FaultPolicy,
+        counters: &FaultCounters,
+        deadline_ms: Option<f64>,
+        query: &Query,
+        ro: &RewriteOption,
+    ) -> Result<RunOutcome> {
+        if !breaker.admit(&policy) {
+            counters.breaker_open_skips.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::ShardUnavailable {
+                shard,
+                reason: "circuit open".into(),
+            });
+        }
+        let mut attempt = 0u32;
+        loop {
+            let result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run(query, ro)))
+                    .unwrap_or_else(|payload| {
+                        counters.panics.fetch_add(1, Ordering::Relaxed);
+                        Err(Error::ShardPanic {
+                            shard,
+                            payload: panic_payload_to_string(&*payload),
+                        })
+                    });
+            match result {
+                Ok(mut outcome) => {
+                    // Failed attempts and their backoff cost simulated time.
+                    outcome.time_ms += attempt as f64 * policy.backoff_ms;
+                    if let Some(deadline) = deadline_ms {
+                        if outcome.time_ms > deadline {
+                            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                            breaker.record_failure(&policy);
+                            return Err(Error::ShardTimeout { shard });
+                        }
+                    }
+                    breaker.record_success();
+                    return Ok(outcome);
+                }
+                Err(err) if err.is_shard_fault() && attempt < policy.max_retries => {
+                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(err) => {
+                    // Query errors (invalid query, missing table) are the
+                    // caller's problem, not the shard's — they neither trip the
+                    // breaker nor get retried.
+                    if err.is_shard_fault() {
+                        breaker.record_failure(&policy);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// The single execution entry behind both [`QueryBackend::run`] (strict:
+    /// any shard fault fails the request) and
+    /// [`QueryBackend::run_with_context`] (`degrade = true`: shard faults are
+    /// absorbed into a degraded answer). Per-request fault counters are
+    /// reported in the [`RunReport`] and folded into the backend's cumulative
+    /// counters.
+    fn execute(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        ctx: &ExecContext,
+        degrade: bool,
+    ) -> Result<RunReport> {
+        let local = Arc::new(FaultCounters::default());
+        let inner = self.execute_inner(query, ro, ctx, degrade, &local);
+        let faults = local.snapshot();
+        self.faults.absorb(&faults);
+        inner.map(|(outcome, quality)| RunReport {
+            outcome,
+            quality,
+            faults,
+        })
+    }
+
+    fn execute_inner(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        ctx: &ExecContext,
+        degrade: bool,
+        local: &Arc<FaultCounters>,
+    ) -> Result<(RunOutcome, ResultQuality)> {
+        let targets = self.overlapping_shards(query)?;
+        // Shards run in parallel, so each gets the full remaining slice, not a
+        // share of it.
+        let deadline = ctx.deadline_ms();
+        let results: Vec<(usize, Result<RunOutcome>)> = if targets.len() == 1 {
+            let shard = targets[0];
+            vec![(
+                shard,
+                Self::attempt_shard(
+                    shard,
+                    &self.shards[shard],
+                    &self.breakers[shard],
+                    self.policy,
+                    local,
+                    deadline,
+                    query,
+                    ro,
+                ),
+            )]
+        } else {
+            // Pool jobs are `'static`: clone the request into the shared
+            // closure (cheap next to executing it on every overlapping shard).
+            let query_c = query.clone();
+            let ro_c = ro.clone();
+            let breakers = Arc::clone(&self.breakers);
+            let policy = self.policy;
+            let counters = Arc::clone(local);
+            let raw = self.fan_out(&targets, move |shard, backend| {
+                Self::attempt_shard(
+                    shard,
+                    backend,
+                    &breakers[shard],
+                    policy,
+                    &counters,
+                    deadline,
+                    &query_c,
+                    &ro_c,
+                )
+            });
+            targets
+                .iter()
+                .zip(raw)
+                .map(|(&shard, slot)| {
+                    (
+                        shard,
+                        slot.unwrap_or_else(|| {
+                            Err(Error::Internal("a shard worker never reported back".into()))
+                        }),
+                    )
                 })
-            })
-            .collect()
+                .collect()
+        };
+
+        let mut successes: Vec<(usize, RunOutcome)> = Vec::new();
+        let mut failures: Vec<(usize, Error)> = Vec::new();
+        for (shard, result) in results {
+            match result {
+                Ok(outcome) => successes.push((shard, outcome)),
+                Err(err) if degrade && err.is_shard_fault() => failures.push((shard, err)),
+                Err(err) => return Err(err),
+            }
+        }
+
+        if failures.is_empty() {
+            if targets.len() == 1 {
+                let (_, mut outcome) = successes.pop().ok_or_else(|| {
+                    Error::Internal("single-target request lost its result".into())
+                })?;
+                // Partitioned tables return points in the canonical distributed
+                // order on *every* routing path, so a narrow (single-shard)
+                // viewport orders rows the same way a wide (merged) one does.
+                if let QueryResult::Points(points) = &mut outcome.result {
+                    if !self.partition(&query.table)?.is_replicated() {
+                        Self::canonicalise_points(points, query.limit);
+                    }
+                }
+                return Ok((outcome, ResultQuality::Full));
+            }
+            let merged =
+                Self::merge_outcomes(query, successes.into_iter().map(|(_, o)| o).collect())?;
+            return Ok((merged, ResultQuality::Full));
+        }
+        self.degrade_to_survivors(query, ro, deadline, &targets, successes, failures, local)
+    }
+
+    /// Builds the degraded answer: merge the surviving shards, try the sampling
+    /// fallback on each missing shard, and tag the result with the covered
+    /// fraction of the targeted rows.
+    #[allow(clippy::too_many_arguments)]
+    fn degrade_to_survivors(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        deadline: Option<f64>,
+        targets: &[usize],
+        successes: Vec<(usize, RunOutcome)>,
+        failures: Vec<(usize, Error)>,
+        local: &Arc<FaultCounters>,
+    ) -> Result<(RunOutcome, ResultQuality)> {
+        local.degraded.fetch_add(1, Ordering::Relaxed);
+        let part = self.partition(&query.table)?;
+        let rows_of = |shard: usize| part.shard_rows.get(shard).copied().unwrap_or(0) as f64;
+        let total: f64 = targets.iter().map(|&s| rows_of(s)).sum();
+        let mut covered: f64 = successes.iter().map(|&(s, _)| rows_of(s)).sum();
+        let timed_out = failures
+            .iter()
+            .any(|(_, e)| matches!(e, Error::ShardTimeout { .. }));
+        let mut outcomes: Vec<RunOutcome> = successes.into_iter().map(|(_, o)| o).collect();
+
+        // Sampling fallback: a missing shard's pre-built sample is a cheaper,
+        // independent execution that may succeed where the exact run did not
+        // (and fit a deadline the exact run blew). Counts are upscaled by the
+        // reciprocal kept fraction; the shard still counts as missing an exact
+        // answer, contributing its sampling fraction to coverage.
+        if let Some(rule) = self.fallback_rule(&query.table) {
+            let fallback_ro = RewriteOption::approximate(HintSet::none(), rule);
+            for &(shard, _) in &failures {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.shards[shard].run(query, &fallback_ro)
+                }));
+                if let Ok(Ok(mut outcome)) = attempt {
+                    let kept = rule.kept_fraction();
+                    let fits = deadline.map_or(true, |d| outcome.time_ms <= d);
+                    if fits && kept > 0.0 {
+                        Self::scale_counts(&mut outcome.result, 1.0 / kept);
+                        covered += kept * rows_of(shard);
+                        local.approx_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        outcomes.push(outcome);
+                    }
+                }
+            }
+        }
+
+        let mut merged = if outcomes.is_empty() {
+            // Every targeted shard failed and no fallback covered it: an empty
+            // result of the query's shape, not a hard error — the serving layer
+            // reports it as a zero-coverage degraded answer.
+            let plan = self.shards[targets[0]].plan(query, ro)?;
+            let result = match &query.output {
+                OutputKind::BinnedCounts { .. } => QueryResult::Bins(Vec::new()),
+                OutputKind::Points { .. } => QueryResult::Points(Vec::new()),
+                OutputKind::Count => QueryResult::Count(0),
+            };
+            RunOutcome {
+                time_ms: 0.0,
+                result,
+                plan,
+                work: WorkProfile::default(),
+            }
+        } else {
+            Self::merge_outcomes(query, outcomes)?
+        };
+        // A timed-out shard held the request for its whole slice before being
+        // cut off; the degraded answer cannot be reported faster than that.
+        if timed_out {
+            if let Some(d) = deadline {
+                merged.time_ms = merged.time_ms.max(d);
+            }
+        }
+        let coverage_fraction = if total > 0.0 {
+            (covered / total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        Ok((
+            merged,
+            ResultQuality::Degraded {
+                shards_missing: failures.len(),
+                coverage_fraction,
+            },
+        ))
+    }
+
+    /// The sampling rule used to approximate a missing shard's contribution:
+    /// the largest sample built for the table, or `None` when the table has no
+    /// samples.
+    fn fallback_rule(&self, table: &str) -> Option<ApproxRule> {
+        let fraction_pct = self.sample_fractions.get(table)?.iter().copied().max()?;
+        Some(ApproxRule::SampleTable { fraction_pct })
+    }
+
+    /// Upscales sampled aggregates by `factor` (bins and counts; point sets
+    /// cannot be upscaled and stay as-is).
+    fn scale_counts(result: &mut QueryResult, factor: f64) {
+        match result {
+            QueryResult::Bins(pairs) => {
+                for (_, c) in pairs.iter_mut() {
+                    *c = (*c as f64 * factor).round() as u64;
+                }
+            }
+            QueryResult::Count(c) => *c = (*c as f64 * factor).round() as u64,
+            QueryResult::Points(_) => {}
+        }
     }
 
     /// Sorts points into the canonical distributed order and applies the global
@@ -600,11 +1173,11 @@ impl ShardedBackend {
     fn weighted_selectivity(
         &self,
         table: &str,
-        f: impl Fn(&Database) -> Result<f64>,
+        f: impl Fn(&dyn QueryBackend) -> Result<f64>,
     ) -> Result<f64> {
         let part = self.partition(table)?;
         if part.is_replicated() {
-            return f(&self.shards[0]);
+            return f(self.shards[0].as_ref());
         }
         let mut weighted = 0.0;
         let mut rows = 0usize;
@@ -612,7 +1185,7 @@ impl ShardedBackend {
             if shard_rows == 0 {
                 continue;
             }
-            weighted += f(shard)? * shard_rows as f64;
+            weighted += f(shard.as_ref())? * shard_rows as f64;
             rows += shard_rows;
         }
         if rows == 0 {
@@ -658,11 +1231,11 @@ impl QueryBackend for ShardedBackend {
     fn sample_len(&self, table: &str, fraction_pct: u32) -> Result<usize> {
         let part = self.partition(table)?;
         if part.is_replicated() {
-            return self.shards[0].sample(table, fraction_pct).map(|s| s.len());
+            return self.shards[0].sample_len(table, fraction_pct);
         }
         let mut total = 0usize;
         for shard in &self.shards {
-            total += shard.sample(table, fraction_pct)?.len();
+            total += shard.sample_len(table, fraction_pct)?;
         }
         Ok(total)
     }
@@ -673,27 +1246,24 @@ impl QueryBackend for ShardedBackend {
     }
 
     fn run(&self, query: &Query, ro: &RewriteOption) -> Result<RunOutcome> {
-        let targets = self.overlapping_shards(query)?;
-        if targets.len() == 1 {
-            let mut outcome = self.shards[targets[0]].run(query, ro)?;
-            // Partitioned tables return points in the canonical distributed
-            // order on *every* routing path, so a narrow (single-shard) viewport
-            // orders rows the same way a wide (merged) one does.
-            if let QueryResult::Points(points) = &mut outcome.result {
-                if !self.partition(&query.table)?.is_replicated() {
-                    Self::canonicalise_points(points, query.limit);
-                }
-            }
-            return Ok(outcome);
-        }
-        let outcomes = {
-            // Pool jobs are `'static`: clone the request into the shared closure
-            // (cheap next to executing it on every overlapping shard).
-            let query = query.clone();
-            let ro = ro.clone();
-            self.fan_out(&targets, move |shard| shard.run(&query, &ro))?
-        };
-        Self::merge_outcomes(query, outcomes)
+        // Strict semantics: a shard fault that survives the retry budget fails
+        // the whole request. Only `run_with_context` degrades.
+        Ok(self
+            .execute(query, ro, &ExecContext::unbounded(), false)?
+            .outcome)
+    }
+
+    fn run_with_context(
+        &self,
+        query: &Query,
+        ro: &RewriteOption,
+        ctx: &ExecContext,
+    ) -> Result<RunReport> {
+        self.execute(query, ro, ctx, true)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.faults.snapshot()
     }
 
     fn execution_time_ms(&self, query: &Query, ro: &RewriteOption) -> Result<f64> {
@@ -785,6 +1355,7 @@ impl QueryBackend for ShardedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use crate::query::{BinGrid, JoinSpec, OutputKind, Predicate};
     use crate::storage::TableBuilder;
     use crate::types::GeoRect;
@@ -1188,9 +1759,10 @@ mod tests {
         let table = build_table(2_000);
         let reference = single_db(&table);
         let backend = sharded(&table, 4);
-        let (workers, jobs_before) = backend.pool_stats();
-        assert_eq!(workers, 4, "one persistent worker per shard");
-        assert_eq!(jobs_before, 0, "no jobs before the first request");
+        let stats = backend.pool_stats();
+        assert_eq!(stats.workers, 4, "one persistent worker per shard");
+        assert_eq!(stats.jobs_dispatched, 0, "no jobs before the first request");
+        assert_eq!(stats.breaker_states, vec![BreakerState::Closed; 4]);
 
         let ro = RewriteOption::original();
         let mut expected_jobs = 0u64;
@@ -1215,13 +1787,13 @@ mod tests {
                 backend.run(&q, &ro).unwrap().result,
                 "request {i} diverged"
             );
-            let (workers_now, jobs_now) = backend.pool_stats();
+            let now = backend.pool_stats();
             assert_eq!(
-                workers_now, 4,
+                now.workers, 4,
                 "request {i} must not spawn additional workers"
             );
             assert_eq!(
-                jobs_now, expected_jobs,
+                now.jobs_dispatched, expected_jobs,
                 "request {i} must dispatch exactly one job per overlapping shard beyond the \
                  caller-executed one"
             );
@@ -1258,7 +1830,368 @@ mod tests {
         let narrow = viewport(GeoRect::new(-120.3, 25.0, -119.9, 49.0), 4, 4);
         assert_eq!(backend.overlapping_shards(&narrow).unwrap().len(), 1);
         backend.run(&narrow, &RewriteOption::original()).unwrap();
-        assert_eq!(backend.pool_stats().1, 0, "inline route must not enqueue");
+        assert_eq!(
+            backend.pool_stats().jobs_dispatched,
+            0,
+            "inline route must not enqueue"
+        );
+    }
+
+    /// Every circuit-breaker transition, pinned: closed → open after
+    /// `breaker_threshold` consecutive failures; open refuses `breaker_cooldown`
+    /// requests then admits a half-open probe; the probe's outcome re-closes or
+    /// re-opens the circuit.
+    #[test]
+    fn circuit_breaker_transitions_are_pinned() {
+        let policy = FaultPolicy {
+            max_retries: 0,
+            backoff_ms: 0.0,
+            breaker_threshold: 2,
+            breaker_cooldown: 2,
+        };
+        let b = CircuitBreaker::new();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(&policy));
+
+        // closed → open after `threshold` consecutive failures.
+        b.record_failure(&policy);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record_failure(&policy);
+        assert_eq!(b.state(), BreakerState::Open);
+
+        // open refuses exactly `cooldown` requests, then probes half-open.
+        assert!(!b.admit(&policy));
+        assert!(!b.admit(&policy));
+        assert!(b.admit(&policy), "the post-cooldown arrival is the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // half-open → open on a failed probe (fresh cooldown).
+        b.record_failure(&policy);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(&policy));
+        assert!(!b.admit(&policy));
+        assert!(b.admit(&policy));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+
+        // half-open → closed on a successful probe, failure count reset.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(&policy);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "count restarted after close"
+        );
+    }
+
+    /// A shard whose every attempt panics surfaces a structured
+    /// [`Error::ShardPanic`] naming the shard, with the panic and retry counts
+    /// visible in `pool_stats()` — not a silent catch or a generic internal
+    /// error.
+    #[test]
+    fn panics_surface_as_structured_shard_panic() {
+        let table = build_table(1_000);
+        let mut b = ShardedBackend::builder(DbConfig::default(), 2);
+        b.register_table(&table).unwrap();
+        // Default policy retries twice, so all three attempts must panic.
+        let plan = Arc::new(
+            FaultPlan::none(1)
+                .script(0, 0, FaultKind::Panic)
+                .script(0, 1, FaultKind::Panic)
+                .script(0, 2, FaultKind::Panic),
+        );
+        let backend = b.build_wrapped(|i, shard| {
+            if i == 0 {
+                Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+            } else {
+                shard
+            }
+        });
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let err = backend.run(&q, &RewriteOption::original()).unwrap_err();
+        match err {
+            Error::ShardPanic { shard, payload } => {
+                assert_eq!(shard, 0);
+                assert!(payload.contains("injected fault"), "payload: {payload}");
+            }
+            other => panic!("expected ShardPanic, got {other:?}"),
+        }
+        let stats = backend.pool_stats();
+        assert_eq!(stats.panics, 3, "every attempt's panic is counted");
+        assert_eq!(stats.retries, 2, "the retry budget was spent");
+    }
+
+    /// A transient fault on one attempt is retried and the request still
+    /// succeeds at full quality — with the retry visible in the report and the
+    /// deterministic backoff charged to simulated time.
+    #[test]
+    fn transient_faults_are_retried_to_full_quality() {
+        let table = build_table(2_000);
+        let reference = sharded(&table, 4);
+        let mut b = ShardedBackend::builder(DbConfig::default(), 4);
+        b.register_table(&table).unwrap();
+        b.build_all_indexes("events").unwrap();
+        b.build_sample("events", 20).unwrap();
+        let plan = Arc::new(FaultPlan::none(1).script(1, 0, FaultKind::Error));
+        let backend = b.build_wrapped(|i, shard| {
+            if i == 1 {
+                Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+            } else {
+                shard
+            }
+        });
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let ro = RewriteOption::original();
+        let report = backend
+            .run_with_context(&q, &ro, &ExecContext::unbounded())
+            .unwrap();
+        assert_eq!(report.quality, ResultQuality::Full);
+        assert_eq!(report.faults.retries, 1);
+        assert_eq!(
+            report.outcome.result,
+            reference.run(&q, &ro).unwrap().result,
+            "a retried request must still merge byte-identically"
+        );
+        let clean = reference.run(&q, &ro).unwrap().time_ms;
+        let policy = backend.fault_policy();
+        assert!(
+            report.outcome.time_ms <= clean + policy.backoff_ms + 1e-9,
+            "one retry charges at most one backoff step to the slowest shard"
+        );
+    }
+
+    /// The degradation contract: a k-of-n merge equals the full merge restricted
+    /// to the surviving shards. Verified with complementary failure sets — one
+    /// backend loses shard 2, the other loses every shard *but* 2 — whose
+    /// degraded answers must sum to the unfaulted result, with coverage
+    /// fractions summing to one.
+    #[test]
+    fn degraded_merge_equals_full_merge_restricted_to_survivors() {
+        let table = build_table(3_000);
+        let always_fail = |seed: u64| Arc::new(FaultPlan::with_rates(seed, 0.0, 1.0, 0.0, 0.0));
+        let build_faulted = |fail_shards: &[usize]| {
+            let mut b = ShardedBackend::builder(DbConfig::default(), 4);
+            b.register_table(&table).unwrap();
+            b.build_all_indexes("events").unwrap();
+            let fail: Vec<usize> = fail_shards.to_vec();
+            let plan = always_fail(7);
+            b.build_wrapped(move |i, shard| {
+                if fail.contains(&i) {
+                    Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+                } else {
+                    shard
+                }
+            })
+        };
+        let lost_two = build_faulted(&[2]);
+        let only_two = build_faulted(&[0, 1, 3]);
+        let reference = sharded(&table, 4);
+
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 16, 16);
+        let ro = RewriteOption::original();
+        let ctx = ExecContext::unbounded();
+        let full = match reference.run(&q, &ro).unwrap().result {
+            QueryResult::Bins(pairs) => pairs,
+            other => panic!("expected bins, got {other:?}"),
+        };
+
+        let survivors = lost_two.run_with_context(&q, &ro, &ctx).unwrap();
+        let complement = only_two.run_with_context(&q, &ro, &ctx).unwrap();
+        let (cov_a, missing_a) = match survivors.quality {
+            ResultQuality::Degraded {
+                shards_missing,
+                coverage_fraction,
+            } => (coverage_fraction, shards_missing),
+            other => panic!("expected degraded, got {other:?}"),
+        };
+        let (cov_b, missing_b) = match complement.quality {
+            ResultQuality::Degraded {
+                shards_missing,
+                coverage_fraction,
+            } => (coverage_fraction, shards_missing),
+            other => panic!("expected degraded, got {other:?}"),
+        };
+        assert_eq!(missing_a, 1);
+        assert_eq!(missing_b, 3);
+        assert!(
+            (cov_a + cov_b - 1.0).abs() < 1e-12,
+            "complementary coverages must sum to one: {cov_a} + {cov_b}"
+        );
+
+        let mut summed: BTreeMap<u32, u64> = BTreeMap::new();
+        for result in [survivors.outcome.result, complement.outcome.result] {
+            match result {
+                QueryResult::Bins(pairs) => {
+                    for (bin, c) in pairs {
+                        *summed.entry(bin).or_insert(0) += c;
+                    }
+                }
+                other => panic!("expected bins, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            summed.into_iter().collect::<Vec<_>>(),
+            full,
+            "complementary survivor merges must reassemble the full merge"
+        );
+    }
+
+    /// A shard whose simulated execution blows the deadline is cut off and
+    /// accounted as a timeout (never retried — the same query would blow the
+    /// same budget again), and the degraded answer is reported at the deadline,
+    /// not after the slow shard's full simulated time.
+    #[test]
+    fn deadline_cuts_off_slow_shards() {
+        let table = build_table(2_000);
+        let reference = sharded(&table, 2);
+        let mut b = ShardedBackend::builder(DbConfig::default(), 2);
+        b.register_table(&table).unwrap();
+        b.build_all_indexes("events").unwrap();
+        let plan = Arc::new(FaultPlan::none(3).script(0, 0, FaultKind::Delay { extra_ms: 1e6 }));
+        let backend = b.build_wrapped(|i, shard| {
+            if i == 0 {
+                Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+            } else {
+                shard
+            }
+        });
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let ro = RewriteOption::original();
+        let deadline = reference.execution_time_ms(&q, &ro).unwrap() + 1_000.0;
+        let report = backend
+            .run_with_context(&q, &ro, &ExecContext::with_deadline(deadline))
+            .unwrap();
+        match report.quality {
+            ResultQuality::Degraded { shards_missing, .. } => assert_eq!(shards_missing, 1),
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(report.faults.timeouts, 1);
+        assert_eq!(report.faults.retries, 0, "timeouts are not retried");
+        assert_eq!(
+            report.outcome.time_ms, deadline,
+            "a timed-out shard holds the answer exactly to the deadline"
+        );
+        // The next request (no fault scripted at this arrival) serves at full
+        // quality again — a deadline miss is per-request, not sticky.
+        let report = backend
+            .run_with_context(&q, &ro, &ExecContext::unbounded())
+            .unwrap();
+        assert_eq!(report.quality, ResultQuality::Full);
+    }
+
+    /// An open breaker refuses requests without touching the shard, then
+    /// half-open probes and re-closes once the shard behaves.
+    #[test]
+    fn open_breaker_skips_then_probes_and_recovers() {
+        let table = build_table(1_500);
+        let mut b = ShardedBackend::builder(DbConfig::default(), 2);
+        b.register_table(&table).unwrap();
+        let b = b.with_fault_policy(FaultPolicy {
+            max_retries: 0,
+            backoff_ms: 0.0,
+            breaker_threshold: 1,
+            breaker_cooldown: 1,
+        });
+        let plan = Arc::new(FaultPlan::none(5).script(1, 0, FaultKind::Error));
+        let backend = b.build_wrapped(|i, shard| {
+            if i == 1 {
+                Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+            } else {
+                shard
+            }
+        });
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let ro = RewriteOption::original();
+        let ctx = ExecContext::unbounded();
+
+        // Request 1: shard 1 fails, breaker opens (threshold 1).
+        let r1 = backend.run_with_context(&q, &ro, &ctx).unwrap();
+        assert!(r1.quality.is_degraded());
+        assert_eq!(backend.pool_stats().breaker_states[1], BreakerState::Open);
+
+        // Request 2: refused at the breaker — the shard sees no arrival.
+        let r2 = backend.run_with_context(&q, &ro, &ctx).unwrap();
+        assert!(r2.quality.is_degraded());
+        assert_eq!(r2.faults.breaker_open_skips, 1);
+
+        // Request 3: cooldown spent, the arrival probes half-open, succeeds and
+        // re-closes the circuit at full quality.
+        let r3 = backend.run_with_context(&q, &ro, &ctx).unwrap();
+        assert_eq!(r3.quality, ResultQuality::Full);
+        assert_eq!(
+            backend.pool_stats().breaker_states,
+            vec![BreakerState::Closed; 2]
+        );
+    }
+
+    /// When a missing shard has a pre-built sample, the degraded path answers
+    /// its region approximately: counts upscaled by the reciprocal kept
+    /// fraction, coverage credited at the sampling fraction.
+    #[test]
+    fn sampling_fallback_covers_missing_shards_approximately() {
+        let table = build_table(3_000);
+        let mut b = ShardedBackend::builder(DbConfig::default(), 4);
+        b.register_table(&table).unwrap();
+        b.build_all_indexes("events").unwrap();
+        b.build_sample("events", 20).unwrap();
+        // All three exact attempts fail; the fallback (fourth arrival) is clean.
+        let plan = Arc::new(
+            FaultPlan::none(9)
+                .script(2, 0, FaultKind::Error)
+                .script(2, 1, FaultKind::Error)
+                .script(2, 2, FaultKind::Error),
+        );
+        let backend = b.build_wrapped(|i, shard| {
+            if i == 2 {
+                Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
+            } else {
+                shard
+            }
+        });
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let report = backend
+            .run_with_context(&q, &RewriteOption::original(), &ExecContext::unbounded())
+            .unwrap();
+        let rows = backend.shard_row_counts("events").unwrap();
+        let total: usize = rows.iter().sum();
+        let expected_coverage = ((total - rows[2]) as f64 + 0.2 * rows[2] as f64) / total as f64;
+        match report.quality {
+            ResultQuality::Degraded {
+                shards_missing,
+                coverage_fraction,
+            } => {
+                assert_eq!(shards_missing, 1, "approx coverage is not an exact answer");
+                assert!(
+                    (coverage_fraction - expected_coverage).abs() < 1e-12,
+                    "coverage {coverage_fraction} != expected {expected_coverage}"
+                );
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+        assert_eq!(report.faults.approx_fallbacks, 1);
+        assert_eq!(report.faults.degraded, 1);
+    }
+
+    /// Losing every targeted shard is still not a hard error under degradation:
+    /// the answer is the empty result of the query's shape at coverage zero.
+    #[test]
+    fn losing_every_shard_degrades_to_an_empty_answer() {
+        let table = build_table(1_000);
+        let mut b = ShardedBackend::builder(DbConfig::default(), 2);
+        b.register_table(&table).unwrap();
+        let backend = b.build_with_faults(FaultPlan::with_rates(11, 0.0, 1.0, 0.0, 0.0));
+        let q = viewport(GeoRect::new(-125.0, 25.0, -66.0, 49.0), 8, 8);
+        let report = backend
+            .run_with_context(&q, &RewriteOption::original(), &ExecContext::unbounded())
+            .unwrap();
+        assert_eq!(
+            report.quality,
+            ResultQuality::Degraded {
+                shards_missing: 2,
+                coverage_fraction: 0.0
+            }
+        );
+        assert_eq!(report.outcome.result, QueryResult::Bins(Vec::new()));
     }
 
     #[test]
