@@ -284,7 +284,7 @@ fn train_quality_agent_with_elapsed(
             let batch = replay.sample(config.batch_size, &mut rng);
             agent.train_on_batch(&batch, config.gamma, &mut optimizer);
             episode += 1;
-            if episode % config.target_sync_episodes == 0 {
+            if episode.is_multiple_of(config.target_sync_episodes) {
                 agent.sync_target();
             }
         }

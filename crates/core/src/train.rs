@@ -144,7 +144,7 @@ pub fn train_agent(
             agent.train_on_batch(&batch, config.gamma, &mut optimizer);
 
             episode_counter += 1;
-            if episode_counter % config.target_sync_episodes == 0 {
+            if episode_counter.is_multiple_of(config.target_sync_episodes) {
                 agent.sync_target();
             }
         }

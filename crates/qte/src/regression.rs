@@ -105,6 +105,8 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         // Eliminate below.
         for row in (col + 1)..n {
             let factor = a[row][col] / a[col][col];
+            // Indexed on purpose: `a[row]` and `a[col]` alias the same matrix.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }

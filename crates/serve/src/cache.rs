@@ -21,13 +21,12 @@
 //!   a stale decision to be returned.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use parking_lot::Mutex;
 
 use vizdb::fingerprint::query_fingerprint;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
+use vizdb::sync::atomic::{AtomicU64, Ordering};
+use vizdb::sync::Mutex;
 
 /// Number of independent lock shards (power of two so shard selection is a mask).
 const SHARDS: usize = 8;

@@ -33,6 +33,11 @@
 pub mod cache;
 pub mod server;
 
+/// The workspace synchronization facade, re-exported so serve-layer code and
+/// tests name one canonical `sync` module (std/parking-lot-free wrappers
+/// normally, loomlite shims under `--cfg maliva_model_check`).
+pub use vizdb::sync;
+
 pub use cache::{CachedDecision, DecisionCache, DecisionCacheConfig, DecisionCacheStats};
 pub use server::{
     backend_for_shards, percentile_ms, MalivaServer, ServeConfig, ServeMetrics, ServeOutcome,

@@ -29,11 +29,8 @@
 //!   [`vizdb::ResultQuality::Degraded`] instead of failing the request.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::time::Instant;
-
-use parking_lot::Mutex;
 
 use maliva::train::SpaceBuilder;
 use maliva::{plan_online, QAgent};
@@ -42,6 +39,8 @@ use vizdb::error::{Error, Result};
 use vizdb::exec::QueryResult;
 use vizdb::hints::RewriteOption;
 use vizdb::query::Query;
+use vizdb::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use vizdb::sync::{Condvar, Mutex};
 use vizdb::{
     Database, ExecContext, FaultStats, QueryBackend, ResultQuality, ShardedBackendBuilder,
 };
@@ -524,15 +523,17 @@ impl MalivaServer {
         let capacity = self.config.queue_capacity.max(1);
         let slots: Vec<Mutex<Option<Result<ServeOutcome>>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
-        // (pending request indices, submission finished). std primitives here:
-        // the vendored parking_lot provides no Condvar to block workers on.
-        let queue: StdMutex<(VecDeque<usize>, bool)> = StdMutex::new((VecDeque::new(), false));
-        let not_empty = Condvar::new();
+        // (pending request indices, submission finished). The facade pairs a
+        // Mutex with a Condvar so workers can block on arrivals — and so the
+        // model checker can explore the admit/drain interleavings.
+        let queue: Mutex<(VecDeque<usize>, bool)> =
+            Mutex::with_name((VecDeque::new(), false), "serve.queue");
+        let not_empty = Condvar::with_name("serve.not_empty");
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let mut state = queue.lock().expect("queue lock");
+                    let mut state = queue.lock();
                     let index = loop {
                         if let Some(i) = state.0.pop_front() {
                             break Some(i);
@@ -540,7 +541,7 @@ impl MalivaServer {
                         if state.1 {
                             break None;
                         }
-                        state = not_empty.wait(state).expect("queue lock");
+                        state = not_empty.wait(state);
                     };
                     drop(state);
                     match index {
@@ -555,8 +556,8 @@ impl MalivaServer {
                 });
             }
             // Submission loop (the caller's thread): admit or shed.
-            for i in 0..requests.len() {
-                let mut state = queue.lock().expect("queue lock");
+            for (i, slot) in slots.iter().enumerate().take(requests.len()) {
+                let mut state = queue.lock();
                 if state.0.len() >= capacity {
                     // Count the shed while still holding the queue lock, so the
                     // counter moves atomically with the shed *decision*: an
@@ -564,14 +565,14 @@ impl MalivaServer {
                     // full-queue rejection whose count hasn't landed yet.
                     self.shed.fetch_add(1, Ordering::Relaxed);
                     drop(state);
-                    *slots[i].lock() = Some(Ok(ServeOutcome::Rejected { queue_full: true }));
+                    *slot.lock() = Some(Ok(ServeOutcome::Rejected { queue_full: true }));
                 } else {
                     state.0.push_back(i);
                     drop(state);
                     not_empty.notify_one();
                 }
             }
-            queue.lock().expect("queue lock").1 = true;
+            queue.lock().1 = true;
             not_empty.notify_all();
         });
 
@@ -633,7 +634,11 @@ mod tests {
         Query::select("tweets")
             .filter(Predicate::keyword(
                 2,
-                if i % 2 == 0 { "covid" } else { "weather" },
+                if i.is_multiple_of(2) {
+                    "covid"
+                } else {
+                    "weather"
+                },
             ))
             .filter(Predicate::time_range(
                 1,
@@ -682,7 +687,7 @@ mod tests {
         assert!(response.exec_ms > 0.0);
         assert!((response.total_ms - response.planning_ms - response.exec_ms).abs() < 1e-9);
         assert!(!response.cache_hit);
-        assert!(response.result.len() > 0);
+        assert!(!response.result.is_empty());
     }
 
     #[test]

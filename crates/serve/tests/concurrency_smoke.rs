@@ -130,8 +130,8 @@ fn raw_scoped_threads_share_database_and_agent() {
     }
 
     db.clear_caches();
-    let results: Vec<parking_lot::Mutex<Option<(usize, RewriteOption, f64)>>> =
-        rest.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<vizdb::sync::Mutex<Option<(usize, RewriteOption, f64)>>> =
+        rest.iter().map(|_| vizdb::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for chunk in 0..4usize {
             let (agent, qte, db) = (&agent, &qte, &db);

@@ -1,0 +1,206 @@
+//! Model-check suite for the serve layer: the decision cache's LRU/invalidate
+//! interleavings, the queued-admission drain protocol, and a test-only
+//! reintroduction of the shed-counter race that the checker must detect.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg maliva_model_check'`; see vizdb's
+//! `model_sync.rs` for the mechanics.
+
+#![cfg(maliva_model_check)]
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use loomlite::{explore, Config, FailureKind};
+use maliva_serve::{CachedDecision, DecisionCache, DecisionCacheConfig};
+use vizdb::hints::RewriteOption;
+use vizdb::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vizdb::sync::{thread, Condvar, Mutex};
+
+fn decision(planning_ms: f64) -> CachedDecision {
+    CachedDecision {
+        chosen_index: 0,
+        rewrite: RewriteOption::original(),
+        planning_ms,
+    }
+}
+
+/// First insert wins: two threads install *different* decisions for one key at
+/// the same generation; both must walk away holding the canonical one.
+#[test]
+fn decision_cache_first_insert_wins_under_every_interleaving() {
+    let report = explore(Config::random(21, 1000), || {
+        let cache = Arc::new(DecisionCache::new(DecisionCacheConfig::default()));
+        let key = (0xFEED, 7);
+        let a = cache.clone();
+        let ha = thread::spawn(move || a.insert(key, decision(10.0), 0).planning_ms);
+        let b = cache.clone();
+        let hb = thread::spawn(move || b.insert(key, decision(20.0), 0).planning_ms);
+        let va = ha.join().unwrap();
+        let vb = hb.join().unwrap();
+        let canonical = cache
+            .get(key, || 0)
+            .expect("one insert must have landed")
+            .planning_ms;
+        assert_eq!(va, canonical, "thread A served a non-canonical decision");
+        assert_eq!(vb, canonical, "thread B served a non-canonical decision");
+    });
+    report.assert_ok();
+    assert!(report.schedules_explored >= 1000);
+}
+
+/// LRU touch racing an invalidation: the lazily-deleted recency queue must
+/// stay consistent whichever side wins each step — the entry is gone once both
+/// settle, the invalidation is counted, and the slot is cleanly reusable.
+#[test]
+fn decision_cache_touch_vs_invalidate_stays_consistent() {
+    let report = explore(Config::random(23, 1000), || {
+        let cache = Arc::new(DecisionCache::new(DecisionCacheConfig::default()));
+        let key = (1, 1);
+        cache.insert(key, decision(1.0), 0);
+        let toucher = {
+            let c = cache.clone();
+            thread::spawn(move || {
+                // A hit must return the live decision; a miss means the
+                // invalidator already won. Both are legal.
+                if let Some(found) = c.get(key, || 0) {
+                    assert_eq!(found.planning_ms, 1.0);
+                }
+            })
+        };
+        let invalidator = {
+            let c = cache.clone();
+            thread::spawn(move || {
+                assert!(c.invalidate(key), "the entry existed when we started");
+            })
+        };
+        toucher.join().unwrap();
+        invalidator.join().unwrap();
+        assert!(
+            cache.get(key, || 0).is_none(),
+            "the invalidation must win by the end"
+        );
+        assert_eq!(cache.stats().invalidations, 1);
+        // The recency queue holds a dead reference to `key` now; reinsertion
+        // must still work and serve the new decision.
+        cache.insert(key, decision(2.0), 0);
+        assert_eq!(cache.get(key, || 0).unwrap().planning_ms, 2.0);
+    });
+    report.assert_ok();
+}
+
+/// The queued-admission drain protocol of `MalivaServer::serve_queued`,
+/// replicated shape-for-shape (bounded queue, condvar, finished flag): every
+/// submitted index is served exactly once and the worker terminates — a lost
+/// wakeup on submit or shutdown would surface as a deadlock here.
+#[test]
+fn queued_admission_protocol_drains_and_terminates() {
+    let report = explore(Config::random(37, 1000), || {
+        let queue: Arc<(Mutex<(VecDeque<usize>, bool)>, Condvar)> = Arc::new((
+            Mutex::with_name((VecDeque::new(), false), "model.serve.queue"),
+            Condvar::with_name("model.serve.not_empty"),
+        ));
+        let served = Arc::new(AtomicU64::new(0));
+        let worker = {
+            let queue = queue.clone();
+            let served = served.clone();
+            thread::spawn(move || loop {
+                let mut state = queue.0.lock();
+                let index = loop {
+                    if let Some(i) = state.0.pop_front() {
+                        break Some(i);
+                    }
+                    if state.1 {
+                        break None;
+                    }
+                    state = queue.1.wait(state);
+                };
+                drop(state);
+                match index {
+                    Some(_) => {
+                        served.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => break,
+                }
+            })
+        };
+        for i in 0..2usize {
+            let mut state = queue.0.lock();
+            state.0.push_back(i);
+            drop(state);
+            queue.1.notify_one();
+        }
+        queue.0.lock().1 = true;
+        queue.1.notify_all();
+        worker.join().unwrap();
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    });
+    report.assert_ok();
+}
+
+/// The admission/shed protocol in miniature. `count_under_lock` selects
+/// between the shipped ordering (the shed counter moves while the queue lock
+/// is still held, *before* the rejection is published) and the pre-fix
+/// ordering (publish first, count after) whose race this PR's predecessor
+/// fixed.
+fn run_admission(count_under_lock: bool) {
+    let queue: Arc<Mutex<(VecDeque<usize>, bool)>> =
+        Arc::new(Mutex::with_name((VecDeque::new(), false), "model.queue"));
+    let shed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicBool::new(false));
+
+    let submitter = {
+        let queue = queue.clone();
+        let shed = shed.clone();
+        let rejected = rejected.clone();
+        thread::spawn(move || {
+            let state = queue.lock();
+            // Capacity 0: the queue is "full", so this request sheds.
+            if count_under_lock {
+                shed.fetch_add(1, Ordering::SeqCst);
+                drop(state);
+                rejected.store(true, Ordering::SeqCst);
+            } else {
+                // The reintroduced race: the rejection becomes visible before
+                // its count lands.
+                drop(state);
+                rejected.store(true, Ordering::SeqCst);
+                shed.fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+    let observer = {
+        let shed = shed.clone();
+        let rejected = rejected.clone();
+        thread::spawn(move || {
+            if rejected.load(Ordering::SeqCst) {
+                assert!(
+                    shed.load(Ordering::SeqCst) >= 1,
+                    "a visible rejection must already be counted"
+                );
+            }
+        })
+    };
+    submitter.join().unwrap();
+    observer.join().unwrap();
+    assert_eq!(shed.load(Ordering::SeqCst), 1);
+}
+
+/// The acceptance bar for the checker: the pre-fix shed-counter ordering must
+/// be caught within ten thousand seeded schedules.
+#[test]
+fn reintroduced_shed_counter_race_is_detected() {
+    let report = explore(Config::random(31, 10_000), || run_admission(false));
+    let failure = report
+        .failure
+        .expect("the shed-counter race must be found within 10k schedules");
+    assert!(
+        matches!(failure.kind, FailureKind::Panic { .. }),
+        "expected the uncounted-rejection assertion, got {failure}"
+    );
+}
+
+/// And the shipped ordering passes the same exploration clean.
+#[test]
+fn count_under_lock_shed_protocol_is_race_free() {
+    explore(Config::random(33, 1000), || run_admission(true)).assert_ok();
+}

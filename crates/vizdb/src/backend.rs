@@ -16,7 +16,7 @@
 //! stays object-safe for backends that cannot lend references into their own
 //! storage (locked or sharded ones).
 
-use parking_lot::RwLock;
+use crate::sync::RwLock;
 
 use crate::db::{Database, DbConfig, RunOutcome};
 use crate::error::Result;
@@ -286,11 +286,11 @@ impl QueryBackend for Database {
     }
 
     fn schema(&self, table: &str) -> Result<TableSchema> {
-        Database::schema(self, table).map(|s| s.clone())
+        Database::schema(self, table).cloned()
     }
 
     fn stats(&self, table: &str) -> Result<TableStats> {
-        Database::stats(self, table).map(|s| s.clone())
+        Database::stats(self, table).cloned()
     }
 
     fn indexed_columns(&self, table: &str) -> Result<Vec<usize>> {
@@ -511,11 +511,11 @@ impl QueryBackend for SharedBackend {
     }
 
     fn schema(&self, table: &str) -> Result<TableSchema> {
-        self.inner.read().schema(table).map(|s| s.clone())
+        self.inner.read().schema(table).cloned()
     }
 
     fn stats(&self, table: &str) -> Result<TableStats> {
-        self.inner.read().stats(table).map(|s| s.clone())
+        self.inner.read().stats(table).cloned()
     }
 
     fn indexed_columns(&self, table: &str) -> Result<Vec<usize>> {

@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 /// Number of independent lock shards (power of two so shard selection is a mask).
 const SHARDS: usize = 16;

@@ -27,8 +27,9 @@
 //! worker.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 use crate::backend::{ExecContext, FaultStats, QueryBackend, ResultQuality, RunReport};
 use crate::db::RunOutcome;

@@ -60,6 +60,7 @@ pub mod schema;
 pub mod sharded;
 pub mod stats;
 pub mod storage;
+pub mod sync;
 pub mod timing;
 pub mod types;
 
@@ -71,4 +72,7 @@ pub use db::{Database, DbConfig, DbProfile, RunOutcome};
 pub use error::{Error, Result};
 pub use exec::ExecEngine;
 pub use fault::{FaultInjectingBackend, FaultKind, FaultPlan};
-pub use sharded::{BreakerState, FaultPolicy, PoolStats, ShardedBackend, ShardedBackendBuilder};
+pub use sharded::{
+    BreakerState, CircuitBreaker, FaultCounters, FaultPolicy, PoolStats, ShardJob, ShardWorkerPool,
+    ShardedBackend, ShardedBackendBuilder,
+};

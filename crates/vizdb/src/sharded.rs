@@ -58,8 +58,10 @@
 //!   (it is an approximation rule; quality metrics measure it as such).
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{mpsc, thread, Condvar, Mutex};
 
 use crate::approx::ApproxRule;
 use crate::backend::{ExecContext, FaultStats, QueryBackend, ResultQuality, RunReport};
@@ -95,7 +97,7 @@ impl TablePartition {
 }
 
 /// A job dispatched to a shard worker thread.
-type ShardJob = Box<dyn FnOnce() + Send + 'static>;
+pub type ShardJob = Box<dyn FnOnce() + Send + 'static>;
 
 /// Renders a caught panic payload for [`Error::ShardPanic`].
 fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
@@ -122,19 +124,23 @@ struct JobQueue {
 /// overlapping shard instead of a `std::thread::scope` spawn + join, and jobs
 /// for one shard always run on the same worker (shard affinity keeps that
 /// shard's tables hot in its core's cache).
-struct ShardWorkerPool {
+///
+/// Public so the model-check suite (`tests/model_sharded.rs`) can explore its
+/// dispatch/shutdown interleavings directly; not part of the stable API.
+pub struct ShardWorkerPool {
     queues: Vec<Arc<JobQueue>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
     jobs_dispatched: AtomicU64,
 }
 
 impl ShardWorkerPool {
-    fn start(workers: usize) -> Self {
+    /// Spawns `workers` dedicated worker threads, one queue each.
+    pub fn start(workers: usize) -> Self {
         let queues: Vec<Arc<JobQueue>> = (0..workers)
             .map(|_| {
                 Arc::new(JobQueue {
-                    jobs: Mutex::new(VecDeque::new()),
-                    ready: Condvar::new(),
+                    jobs: Mutex::with_name(VecDeque::new(), "shard-worker.jobs"),
+                    ready: Condvar::with_name("shard-worker.ready"),
                     shutdown: AtomicBool::new(false),
                 })
             })
@@ -143,9 +149,9 @@ impl ShardWorkerPool {
             .iter()
             .cloned()
             .map(|queue| {
-                std::thread::spawn(move || loop {
+                thread::spawn(move || loop {
                     let job = {
-                        let mut jobs = queue.jobs.lock().expect("shard worker queue poisoned");
+                        let mut jobs = queue.jobs.lock();
                         loop {
                             if let Some(job) = jobs.pop_front() {
                                 break Some(job);
@@ -153,7 +159,7 @@ impl ShardWorkerPool {
                             if queue.shutdown.load(Ordering::Acquire) {
                                 break None;
                             }
-                            jobs = queue.ready.wait(jobs).expect("shard worker queue poisoned");
+                            jobs = queue.ready.wait(jobs);
                         }
                     };
                     match job {
@@ -179,22 +185,20 @@ impl ShardWorkerPool {
     }
 
     /// Enqueues `job` on `shard`'s dedicated worker.
-    fn dispatch(&self, shard: usize, job: ShardJob) {
+    pub fn dispatch(&self, shard: usize, job: ShardJob) {
         self.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
         let queue = &self.queues[shard];
-        queue
-            .jobs
-            .lock()
-            .expect("shard worker queue poisoned")
-            .push_back(job);
+        queue.jobs.lock().push_back(job);
         queue.ready.notify_one();
     }
 
-    fn workers(&self) -> usize {
+    /// Worker threads (fixed at start).
+    pub fn workers(&self) -> usize {
         self.queues.len()
     }
 
-    fn jobs_dispatched(&self) -> u64 {
+    /// Jobs dispatched since start.
+    pub fn jobs_dispatched(&self) -> u64 {
         self.jobs_dispatched.load(Ordering::Relaxed)
     }
 }
@@ -206,7 +210,7 @@ impl Drop for ShardWorkerPool {
             // `shutdown` under that lock right before parking in `wait`, so an
             // unlocked store + notify could land in between and the wakeup
             // would be lost, leaving `join` below blocked forever.
-            let _guard = queue.jobs.lock().expect("shard worker queue poisoned");
+            let _guard = queue.jobs.lock();
             queue.shutdown.store(true, Ordering::Release);
             queue.ready.notify_all();
         }
@@ -276,21 +280,35 @@ enum BreakerInner {
 ///
 /// Cooldown is measured in refused *requests*, not elapsed wall-clock time —
 /// the deterministic analogue of the classic timer-based breaker.
-struct CircuitBreaker {
+///
+/// Public so the model-check suite can explore its state transitions under
+/// concurrent failures; not part of the stable API.
+pub struct CircuitBreaker {
     inner: Mutex<BreakerInner>,
 }
 
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl CircuitBreaker {
-    fn new() -> Self {
+    /// A closed breaker with zero recorded failures.
+    pub fn new() -> Self {
         Self {
-            inner: Mutex::new(BreakerInner::Closed {
-                consecutive_failures: 0,
-            }),
+            inner: Mutex::with_name(
+                BreakerInner::Closed {
+                    consecutive_failures: 0,
+                },
+                "breaker",
+            ),
         }
     }
 
-    fn state(&self) -> BreakerState {
-        match *self.inner.lock().expect("breaker lock poisoned") {
+    /// The breaker's current state.
+    pub fn state(&self) -> BreakerState {
+        match *self.inner.lock() {
             BreakerInner::Closed { .. } => BreakerState::Closed,
             BreakerInner::Open { .. } => BreakerState::Open,
             BreakerInner::HalfOpen => BreakerState::HalfOpen,
@@ -300,8 +318,8 @@ impl CircuitBreaker {
     /// Whether a request may reach the shard. While open, refusals count toward
     /// the cooldown; once `breaker_cooldown` requests have been refused the next
     /// arrival flips the breaker half-open and proceeds as its probe.
-    fn admit(&self, policy: &FaultPolicy) -> bool {
-        let mut inner = self.inner.lock().expect("breaker lock poisoned");
+    pub fn admit(&self, policy: &FaultPolicy) -> bool {
+        let mut inner = self.inner.lock();
         match &mut *inner {
             BreakerInner::Closed { .. } | BreakerInner::HalfOpen => true,
             BreakerInner::Open { skipped } => {
@@ -316,14 +334,16 @@ impl CircuitBreaker {
         }
     }
 
-    fn record_success(&self) {
-        *self.inner.lock().expect("breaker lock poisoned") = BreakerInner::Closed {
+    /// Records a successful request: the breaker re-closes with a clean slate.
+    pub fn record_success(&self) {
+        *self.inner.lock() = BreakerInner::Closed {
             consecutive_failures: 0,
         };
     }
 
-    fn record_failure(&self, policy: &FaultPolicy) {
-        let mut inner = self.inner.lock().expect("breaker lock poisoned");
+    /// Records a failed request (retries already exhausted).
+    pub fn record_failure(&self, policy: &FaultPolicy) {
+        let mut inner = self.inner.lock();
         match &mut *inner {
             BreakerInner::Closed {
                 consecutive_failures,
@@ -340,39 +360,40 @@ impl CircuitBreaker {
     }
 }
 
-/// Shared atomic fault counters — one global set per backend (cumulative) and
-/// one short-lived set per request (reported in the [`RunReport`]).
-#[derive(Default)]
-struct FaultCounters {
-    retries: AtomicU64,
-    timeouts: AtomicU64,
-    panics: AtomicU64,
-    breaker_open_skips: AtomicU64,
-    approx_fallbacks: AtomicU64,
-    degraded: AtomicU64,
+/// Shared fault counters — one global set per backend (cumulative) and one
+/// short-lived set per request (reported in the [`RunReport`]).
+///
+/// All six counters live behind **one** mutex so [`FaultCounters::snapshot`]
+/// returns a single consistent [`FaultStats`]: with per-field atomics a
+/// snapshot taken during a concurrent fan-out could tear, e.g. observing a
+/// retry's failure counted but not the timeout it became. Public so the
+/// model-check suite can pin that contract; not part of the stable API.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    inner: Mutex<FaultStats>,
 }
 
 impl FaultCounters {
-    fn snapshot(&self) -> FaultStats {
-        FaultStats {
-            retries: self.retries.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            panics: self.panics.load(Ordering::Relaxed),
-            breaker_open_skips: self.breaker_open_skips.load(Ordering::Relaxed),
-            approx_fallbacks: self.approx_fallbacks.load(Ordering::Relaxed),
-            degraded: self.degraded.load(Ordering::Relaxed),
+    /// All-zero counters.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::with_name(FaultStats::default(), "fault-counters"),
         }
     }
 
-    fn absorb(&self, stats: &FaultStats) {
-        self.retries.fetch_add(stats.retries, Ordering::Relaxed);
-        self.timeouts.fetch_add(stats.timeouts, Ordering::Relaxed);
-        self.panics.fetch_add(stats.panics, Ordering::Relaxed);
-        self.breaker_open_skips
-            .fetch_add(stats.breaker_open_skips, Ordering::Relaxed);
-        self.approx_fallbacks
-            .fetch_add(stats.approx_fallbacks, Ordering::Relaxed);
-        self.degraded.fetch_add(stats.degraded, Ordering::Relaxed);
+    /// Applies one mutation atomically with respect to [`Self::snapshot`].
+    pub fn record(&self, bump: impl FnOnce(&mut FaultStats)) {
+        bump(&mut self.inner.lock());
+    }
+
+    /// One consistent view of all six counters.
+    pub fn snapshot(&self) -> FaultStats {
+        *self.inner.lock()
+    }
+
+    /// Adds `stats` (a per-request delta) into these cumulative counters.
+    pub fn absorb(&self, stats: &FaultStats) {
+        self.inner.lock().add(stats);
     }
 }
 
@@ -751,13 +772,17 @@ impl ShardedBackend {
     /// [`PoolStats`]. The worker count is fixed at build time — no per-request
     /// thread spawns — while the job and fault counters grow with traffic.
     pub fn pool_stats(&self) -> PoolStats {
+        // One consistent snapshot of all fault counters: reading the fields
+        // through individual loads could tear against a concurrent fan-out
+        // (e.g. a retry counted whose eventual timeout is not yet).
+        let faults = self.faults.snapshot();
         PoolStats {
             workers: self.pool.workers(),
             jobs_dispatched: self.pool.jobs_dispatched(),
-            retries: self.faults.retries.load(Ordering::Relaxed),
-            timeouts: self.faults.timeouts.load(Ordering::Relaxed),
-            panics: self.faults.panics.load(Ordering::Relaxed),
-            breaker_open_skips: self.faults.breaker_open_skips.load(Ordering::Relaxed),
+            retries: faults.retries,
+            timeouts: faults.timeouts,
+            panics: faults.panics,
+            breaker_open_skips: faults.breaker_open_skips,
             breaker_states: self.breakers.iter().map(|b| b.state()).collect(),
         }
     }
@@ -829,7 +854,7 @@ impl ShardedBackend {
         ro: &RewriteOption,
     ) -> Result<RunOutcome> {
         if !breaker.admit(&policy) {
-            counters.breaker_open_skips.fetch_add(1, Ordering::Relaxed);
+            counters.record(|s| s.breaker_open_skips += 1);
             return Err(Error::ShardUnavailable {
                 shard,
                 reason: "circuit open".into(),
@@ -840,7 +865,7 @@ impl ShardedBackend {
             let result =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| backend.run(query, ro)))
                     .unwrap_or_else(|payload| {
-                        counters.panics.fetch_add(1, Ordering::Relaxed);
+                        counters.record(|s| s.panics += 1);
                         Err(Error::ShardPanic {
                             shard,
                             payload: panic_payload_to_string(&*payload),
@@ -852,7 +877,7 @@ impl ShardedBackend {
                     outcome.time_ms += attempt as f64 * policy.backoff_ms;
                     if let Some(deadline) = deadline_ms {
                         if outcome.time_ms > deadline {
-                            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                            counters.record(|s| s.timeouts += 1);
                             breaker.record_failure(&policy);
                             return Err(Error::ShardTimeout { shard });
                         }
@@ -861,7 +886,7 @@ impl ShardedBackend {
                     return Ok(outcome);
                 }
                 Err(err) if err.is_shard_fault() && attempt < policy.max_retries => {
-                    counters.retries.fetch_add(1, Ordering::Relaxed);
+                    counters.record(|s| s.retries += 1);
                     attempt += 1;
                 }
                 Err(err) => {
@@ -1008,7 +1033,7 @@ impl ShardedBackend {
         failures: Vec<(usize, Error)>,
         local: &Arc<FaultCounters>,
     ) -> Result<(RunOutcome, ResultQuality)> {
-        local.degraded.fetch_add(1, Ordering::Relaxed);
+        local.record(|s| s.degraded += 1);
         let part = self.partition(&query.table)?;
         let rows_of = |shard: usize| part.shard_rows.get(shard).copied().unwrap_or(0) as f64;
         let total: f64 = targets.iter().map(|&s| rows_of(s)).sum();
@@ -1031,11 +1056,11 @@ impl ShardedBackend {
                 }));
                 if let Ok(Ok(mut outcome)) = attempt {
                     let kept = rule.kept_fraction();
-                    let fits = deadline.map_or(true, |d| outcome.time_ms <= d);
+                    let fits = deadline.is_none_or(|d| outcome.time_ms <= d);
                     if fits && kept > 0.0 {
                         Self::scale_counts(&mut outcome.result, 1.0 / kept);
                         covered += kept * rows_of(shard);
-                        local.approx_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        local.record(|s| s.approx_fallbacks += 1);
                         outcomes.push(outcome);
                     }
                 }
@@ -1485,7 +1510,7 @@ mod tests {
             QueryResult::Points(p) => p,
             other => panic!("expected points, got {other:?}"),
         };
-        expected.sort_by(|a, b| a.0.cmp(&b.0));
+        expected.sort_by_key(|e| e.0);
         let got = match backend.run(&points_q, &ro).unwrap().result {
             QueryResult::Points(p) => p,
             other => panic!("expected points, got {other:?}"),

@@ -1,0 +1,214 @@
+//! Model-check suite for the sharded backend's concurrency primitives: the
+//! persistent worker pool, the per-shard circuit breaker, and the shared fault
+//! counters.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg maliva_model_check'`; see
+//! `model_sync.rs` for the mechanics.
+
+#![cfg(maliva_model_check)]
+
+use std::sync::Arc;
+
+use loomlite::{explore, Config, FailureKind};
+use vizdb::sync::atomic::{AtomicU64, Ordering};
+use vizdb::sync::thread;
+use vizdb::{BreakerState, CircuitBreaker, FaultCounters, FaultPolicy, ShardWorkerPool};
+
+/// The torn-snapshot fix, pinned: one logical fault event bumps two counters
+/// inside a single `record` closure, and `snapshot` must never observe one
+/// bump without the other — under *any* interleaving with a concurrent reader.
+#[test]
+fn fault_counter_snapshots_are_never_torn() {
+    let report = explore(Config::random(3, 1000), || {
+        let counters = Arc::new(FaultCounters::new());
+        let writer = {
+            let c = counters.clone();
+            thread::spawn(move || {
+                for _ in 0..2 {
+                    c.record(|s| {
+                        s.retries += 1;
+                        s.timeouts += 1;
+                    });
+                }
+            })
+        };
+        let reader = {
+            let c = counters.clone();
+            thread::spawn(move || {
+                let s = c.snapshot();
+                assert_eq!(
+                    s.retries, s.timeouts,
+                    "torn snapshot: a retry was visible without its timeout"
+                );
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        let end = counters.snapshot();
+        assert_eq!((end.retries, end.timeouts), (2, 2));
+    });
+    report.assert_ok();
+}
+
+/// The bug the fix replaced, demonstrated: with one atomic per counter (the
+/// pre-fix `FaultCounters` layout), a concurrent reader *can* observe the two
+/// halves of one logical event apart — and the checker finds the schedule.
+#[test]
+fn per_field_atomic_counters_are_caught_tearing() {
+    let report = explore(Config::random(5, 10_000), || {
+        let retries = Arc::new(AtomicU64::new(0));
+        let timeouts = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let (r, t) = (retries.clone(), timeouts.clone());
+            thread::spawn(move || {
+                // One logical event, two independent atomics: the pre-fix shape.
+                r.fetch_add(1, Ordering::SeqCst);
+                t.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let reader = {
+            let (r, t) = (retries.clone(), timeouts.clone());
+            thread::spawn(move || {
+                let retries = r.load(Ordering::SeqCst);
+                let timeouts = t.load(Ordering::SeqCst);
+                assert_eq!(retries, timeouts, "torn read");
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+    });
+    let failure = report.failure.expect("the torn snapshot must be found");
+    assert!(matches!(failure.kind, FailureKind::Panic { .. }));
+}
+
+/// Breaker state machine under concurrent shard failures: four consecutive
+/// failures from two threads (threshold 3, no successes in between) must leave
+/// the breaker open — no interleaving may lose a failure — and an open breaker
+/// refuses the next arrival.
+#[test]
+fn breaker_opens_under_concurrent_shard_failures() {
+    let report = explore(Config::random(9, 1000), || {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let policy = FaultPolicy::default();
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = breaker.clone();
+                thread::spawn(move || {
+                    b.record_failure(&policy);
+                    b.record_failure(&policy);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(
+            !breaker.admit(&policy),
+            "a freshly opened breaker must refuse (cooldown not yet served)"
+        );
+    });
+    report.assert_ok();
+}
+
+/// Cooldown handoff: with `breaker_cooldown = 1`, two concurrent `admit` calls
+/// on an open breaker must admit *exactly one* half-open probe — one refusal
+/// serves the cooldown, the other call proceeds as the probe, in either order.
+#[test]
+fn open_breaker_admits_exactly_one_half_open_probe() {
+    let report = explore(Config::random(15, 1000), || {
+        let policy = FaultPolicy {
+            breaker_cooldown: 1,
+            ..FaultPolicy::default()
+        };
+        let breaker = Arc::new(CircuitBreaker::new());
+        for _ in 0..policy.breaker_threshold {
+            breaker.record_failure(&policy);
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let b = breaker.clone();
+                thread::spawn(move || b.admit(&policy))
+            })
+            .collect();
+        let admitted: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            admitted.iter().filter(|&&a| a).count(),
+            1,
+            "exactly one probe must pass: {admitted:?}"
+        );
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+    });
+    report.assert_ok();
+}
+
+/// Dispatch/shutdown protocol of the persistent worker pool: every dispatched
+/// job runs before `Drop` returns, and the shutdown wakeup is never lost (a
+/// lost one parks `join` forever, which the checker reports as a deadlock).
+#[test]
+fn worker_pool_runs_every_dispatched_job_and_joins_on_drop() {
+    let report = explore(Config::random(13, 1000), || {
+        let pool = ShardWorkerPool::start(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        for shard in 0..pool.workers() {
+            let ran = ran.clone();
+            pool.dispatch(
+                shard,
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        assert_eq!(pool.jobs_dispatched(), 2);
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "a dispatched job never ran");
+    });
+    report.assert_ok();
+}
+
+/// Panic recovery: a panicking job must not take its worker down — the worker
+/// serves every future job for its shard, so it runs the next job and still
+/// joins cleanly on drop.
+#[test]
+fn worker_survives_a_panicking_job() {
+    let report = explore(Config::random(17, 1000), || {
+        let pool = ShardWorkerPool::start(1);
+        let ran = Arc::new(AtomicU64::new(0));
+        pool.dispatch(0, Box::new(|| panic!("job blew up")));
+        let r = ran.clone();
+        pool.dispatch(
+            0,
+            Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        drop(pool);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "the worker died with the panicking job"
+        );
+    });
+    report.assert_ok();
+}
+
+/// The same shutdown protocol under bounded-exhaustive search: every schedule
+/// with at most two preemptions of a one-worker pool, enumerated to the end.
+#[test]
+fn worker_pool_shutdown_survives_exhaustive_search() {
+    let report = explore(Config::exhaustive(2, 20_000), || {
+        let pool = ShardWorkerPool::start(1);
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = ran.clone();
+        pool.dispatch(
+            0,
+            Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        drop(pool);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    });
+    report.assert_ok();
+}

@@ -1,0 +1,101 @@
+//! Model-check suite for the `vizdb::sync` facade and the fingerprint cache.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg maliva_model_check'`, where
+//! `vizdb::sync` resolves to the instrumented loomlite shims and `explore`
+//! drives every lock acquisition and atomic access through the deterministic
+//! scheduler. A plain `cargo test` builds this file to an empty test binary.
+
+#![cfg(maliva_model_check)]
+
+use std::sync::Arc;
+
+use loomlite::{explore, Config, FailureKind};
+use vizdb::sync::atomic::{AtomicU64, Ordering};
+use vizdb::sync::thread;
+use vizdb::FingerprintCache;
+
+/// A classic lost update, written against the *facade's* atomics. The checker
+/// finding it proves the `maliva_model_check` cfg actually switched
+/// `vizdb::sync` onto the loomlite shims — uninstrumented std atomics would
+/// give the scheduler nothing to interleave.
+#[test]
+fn facade_atomics_are_instrumented() {
+    let report = explore(Config::random(7, 2000), || {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = n.clone();
+                thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = report
+        .failure
+        .expect("the seeded read-modify-write race must be found");
+    assert!(
+        matches!(failure.kind, FailureKind::Panic { .. }),
+        "expected the lost-update assertion, got {failure}"
+    );
+}
+
+/// The cache contract under every explored interleaving: two threads race
+/// `get_or_try_compute` on one key with *different* candidate values; the
+/// first insert wins and both threads observe exactly the canonical value.
+#[test]
+fn fingerprint_cache_first_insert_wins_under_every_interleaving() {
+    let report = explore(Config::random(11, 1000), || {
+        let cache = Arc::new(FingerprintCache::new());
+        let a = cache.clone();
+        let ha = thread::spawn(move || {
+            let v: Result<f64, ()> = a.get_or_try_compute((1, 2), || Ok(10.0));
+            v.unwrap()
+        });
+        let b = cache.clone();
+        let hb = thread::spawn(move || {
+            let v: Result<f64, ()> = b.get_or_try_compute((1, 2), || Ok(20.0));
+            v.unwrap()
+        });
+        let va = ha.join().unwrap();
+        let vb = hb.join().unwrap();
+        let canonical = cache.get((1, 2)).expect("one insert must have landed");
+        assert_eq!(va, canonical, "thread A observed a non-canonical value");
+        assert_eq!(vb, canonical, "thread B observed a non-canonical value");
+        assert_eq!(cache.len(), 1, "a racing insert must not duplicate the key");
+    });
+    report.assert_ok();
+    assert!(report.schedules_explored >= 1000);
+}
+
+/// `insert_canonical` against a concurrent `clear`: whatever the outcome, the
+/// caller's returned value was canonical *at insertion time* and the cache
+/// ends in one of the two legal states (entry present with the inserted value,
+/// or empty).
+#[test]
+fn fingerprint_cache_clear_races_are_benign() {
+    let report = explore(Config::random(13, 1000), || {
+        let cache = Arc::new(FingerprintCache::new());
+        let inserter = {
+            let c = cache.clone();
+            thread::spawn(move || c.insert_canonical((9, 9), 4.5))
+        };
+        let clearer = {
+            let c = cache.clone();
+            thread::spawn(move || c.clear())
+        };
+        let inserted = inserter.join().unwrap();
+        clearer.join().unwrap();
+        assert_eq!(inserted, 4.5);
+        match cache.get((9, 9)) {
+            Some(v) => assert_eq!(v, 4.5),
+            None => assert!(cache.is_empty()),
+        }
+    });
+    report.assert_ok();
+}

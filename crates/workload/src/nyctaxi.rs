@@ -64,7 +64,7 @@ pub fn build_nyctaxi_with_config(scale: DatasetScale, seed: u64, mut config: DbC
         let distance = sample_trip_distance(&mut rng);
         let point = sample_pickup(&mut rng, &extent);
 
-        if (i as usize) % seed_every == 0 && seeds.len() < 1_500 {
+        if (i as usize).is_multiple_of(seed_every) && seeds.len() < 1_500 {
             seeds.push(SeedRecord {
                 timestamp,
                 point,

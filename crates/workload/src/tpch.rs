@@ -60,7 +60,7 @@ pub fn build_tpch_with_config(scale: DatasetScale, seed: u64, mut config: DbConf
         // Receipt follows shipping by 1–30 days (correlated attributes).
         let receipt_date = ship_date + rng.gen_range(1i64..=30) * 86_400;
 
-        if (i as usize) % seed_every == 0 && seeds.len() < 1_500 {
+        if (i as usize).is_multiple_of(seed_every) && seeds.len() < 1_500 {
             seeds.push(SeedRecord {
                 timestamp: ship_date,
                 point: GeoPoint::new(quantity, discount),

@@ -79,7 +79,7 @@ pub fn build_twitter_with_config(scale: DatasetScale, seed: u64, mut config: DbC
         let followers = sample_heavy_tail(&mut rng, 100_000.0);
         let user_id = rng.gen_range(0..scale.dim_rows as i64);
 
-        if (i as usize) % seed_every == 0 && seeds.len() < 1_500 {
+        if (i as usize).is_multiple_of(seed_every) && seeds.len() < 1_500 {
             seeds.push(SeedRecord {
                 timestamp,
                 point,

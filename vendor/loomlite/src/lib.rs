@@ -1,0 +1,213 @@
+//! # loomlite — a deterministic concurrency model checker
+//!
+//! A small, offline, loom-style interleaving explorer. Code under test uses
+//! the instrumented shims from [`sync`] and [`thread`] instead of `std`'s;
+//! [`explore`] then runs the test closure over many schedules, each one a
+//! fully serialised execution whose interleaving is decided by an explicit
+//! scheduling policy:
+//!
+//! - **Seeded pseudo-random** ([`Mode::Random`]): every iteration draws its
+//!   scheduling decisions from an xorshift64* stream, so a seed reproduces a
+//!   schedule byte-for-byte.
+//! - **Preemption-bounded exhaustive** ([`Mode::Exhaustive`]): a DFS over the
+//!   decision tree that systematically enumerates every schedule using at
+//!   most `preemption_bound` preemptive context switches.
+//!
+//! Detected failures ([`FailureKind`]):
+//!
+//! - **Panic** — an assertion in the test closure fired under some
+//!   interleaving: a race, reported with the schedule trace that exposes it.
+//! - **Deadlock** — no thread can make progress (lock cycles and lost
+//!   condvar wakeups alike), reported with each thread's blocker.
+//! - **Lock-order violation** — two locks acquired in inconsistent orders
+//!   anywhere in the execution, reported as the acquisition cycle — even if
+//!   the explored schedule happened not to deadlock.
+//!
+//! Outside [`explore`] every shim falls back to plain `std` behaviour, so a
+//! binary compiled against loomlite primitives still runs normally.
+//!
+//! ```
+//! use loomlite::{explore, Config};
+//! use loomlite::sync::Mutex;
+//! use loomlite::thread;
+//! use std::sync::Arc;
+//!
+//! let report = explore(Config::random(42, 100), || {
+//!     let counter = Arc::new(Mutex::new(0u64));
+//!     let c2 = counter.clone();
+//!     let h = thread::spawn(move || *c2.lock() += 1);
+//!     *counter.lock() += 1;
+//!     h.join().unwrap();
+//!     assert_eq!(*counter.lock(), 2);
+//! });
+//! report.assert_ok();
+//! ```
+
+mod report;
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, Once};
+
+pub use report::{Config, Failure, FailureKind, Mode, Report};
+
+use scheduler::{in_model_thread, Policy, Scheduler};
+
+/// Installs (once, process-wide) a panic hook that silences panics on model
+/// threads: those panics are part of the exploration protocol and are
+/// reported through [`Report::failure`] instead of stderr spam.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !in_model_thread() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn trace_hash(trace: &[usize]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    trace.hash(&mut h);
+    h.finish()
+}
+
+/// Runs one schedule of `f` under `policy` and returns its outcome.
+fn run_schedule<F>(
+    policy: Policy,
+    max_preemptions: Option<usize>,
+    f: Arc<F>,
+) -> scheduler::ScheduleOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let sched = Scheduler::new(policy, max_preemptions);
+    let result = Arc::new(Mutex::new(None));
+    let root = {
+        let sched = sched.clone();
+        let result = result.clone();
+        std::thread::spawn(move || {
+            thread::run_model_thread(sched, 0, move || f(), result);
+        })
+    };
+    sched.add_os_handle(root);
+    sched.wait_done()
+}
+
+/// Explores schedules of `f` according to `config` and reports the outcome.
+///
+/// `f` is run once per schedule, each time from a fresh root thread; state
+/// must be created inside the closure (or reset by it). The exploration
+/// itself is fully deterministic for a given `config`.
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let f = Arc::new(f);
+    let mut distinct: HashSet<u64> = HashSet::new();
+    let mut traces: Vec<Vec<usize>> = Vec::new();
+    let mut explored = 0usize;
+    let mut failure: Option<Failure> = None;
+    let mut exhausted = false;
+
+    match config.mode {
+        Mode::Random { seed, iterations } => {
+            for i in 0..iterations {
+                let policy = Policy::Random {
+                    // Never zero (xorshift fixpoint), decorrelated across i.
+                    state: splitmix64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)) | 1,
+                };
+                let outcome = run_schedule(policy, None, f.clone());
+                explored += 1;
+                distinct.insert(trace_hash(&outcome.trace));
+                if config.collect_traces {
+                    traces.push(outcome.trace.clone());
+                }
+                if let Some(mut fail) = outcome.failure {
+                    fail.schedule = i;
+                    failure = Some(fail);
+                    if config.stop_on_failure {
+                        break;
+                    }
+                }
+            }
+        }
+        Mode::Exhaustive {
+            preemption_bound,
+            max_schedules,
+        } => {
+            let mut replay: Vec<usize> = Vec::new();
+            loop {
+                if explored >= max_schedules {
+                    break;
+                }
+                let policy = Policy::Dfs {
+                    replay: replay.clone(),
+                };
+                let outcome = run_schedule(policy, Some(preemption_bound), f.clone());
+                explored += 1;
+                distinct.insert(trace_hash(&outcome.trace));
+                if config.collect_traces {
+                    traces.push(outcome.trace.clone());
+                }
+                if let Some(mut fail) = outcome.failure {
+                    fail.schedule = explored - 1;
+                    failure = Some(fail);
+                    if config.stop_on_failure {
+                        break;
+                    }
+                }
+                // Odometer step: bump the deepest decision that still has an
+                // untried option; exhausted when none does.
+                let mut next: Option<Vec<usize>> = None;
+                for depth in (0..outcome.decisions.len()).rev() {
+                    let d = outcome.decisions[depth];
+                    if d.rank + 1 < d.options {
+                        let mut r: Vec<usize> =
+                            outcome.decisions[..depth].iter().map(|d| d.rank).collect();
+                        r.push(d.rank + 1);
+                        next = Some(r);
+                        break;
+                    }
+                }
+                match next {
+                    Some(r) => replay = r,
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    Report {
+        schedules_explored: explored,
+        distinct_schedules: distinct.len(),
+        failure,
+        exhausted,
+        traces,
+    }
+}
+
+/// Explores with a default budget (seed 0, 1000 random schedules) and panics
+/// with the failure report if any schedule fails.
+pub fn check<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore(Config::random(0, 1000), f).assert_ok();
+}

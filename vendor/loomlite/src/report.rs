@@ -1,0 +1,153 @@
+//! Exploration configuration and result types.
+
+use std::fmt;
+
+/// How schedules are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Seeded pseudo-random exploration: each schedule draws its scheduling
+    /// decisions from an xorshift64* stream derived from `seed + iteration`.
+    Random { seed: u64, iterations: usize },
+    /// Preemption-bounded exhaustive DFS: systematically enumerates every
+    /// schedule whose number of preemptive context switches stays within
+    /// `preemption_bound`, up to `max_schedules` (a safety valve for state
+    /// spaces that are larger than expected).
+    Exhaustive {
+        preemption_bound: usize,
+        max_schedules: usize,
+    },
+}
+
+/// Exploration configuration. Construct with [`Config::random`] or
+/// [`Config::exhaustive`] and tweak fields as needed.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub mode: Mode,
+    /// Stop at the first failing schedule (default) or keep exploring.
+    pub stop_on_failure: bool,
+    /// Record every schedule trace in [`Report::traces`] (off by default;
+    /// meant for determinism tests, not large explorations).
+    pub collect_traces: bool,
+}
+
+impl Config {
+    pub fn random(seed: u64, iterations: usize) -> Self {
+        Self {
+            mode: Mode::Random { seed, iterations },
+            stop_on_failure: true,
+            collect_traces: false,
+        }
+    }
+
+    pub fn exhaustive(preemption_bound: usize, max_schedules: usize) -> Self {
+        Self {
+            mode: Mode::Exhaustive {
+                preemption_bound,
+                max_schedules,
+            },
+            stop_on_failure: true,
+            collect_traces: false,
+        }
+    }
+
+    pub fn with_traces(mut self) -> Self {
+        self.collect_traces = true;
+        self
+    }
+}
+
+/// What went wrong in a failing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread can make progress and not all threads finished.
+    Deadlock {
+        /// One human-readable line per blocked thread.
+        waiting: Vec<String>,
+        /// The ownership chain `thread → lock → owner → lock → …` when the
+        /// deadlock is a lock cycle (empty for lost wakeups).
+        cycle: Vec<String>,
+    },
+    /// Two locks were acquired in inconsistent orders across the execution
+    /// (reported even when this particular schedule did not deadlock).
+    LockOrder {
+        /// The acquisition cycle, as resource labels: `A → B → … → A`.
+        cycle: Vec<String>,
+    },
+    /// Model code panicked — an assertion failure in the checked closure (a
+    /// detected race) or a bug in the code under test.
+    Panic { thread: usize, message: String },
+}
+
+/// A failing schedule: the kind of failure plus the schedule trace that
+/// reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Logical thread the failure surfaced on.
+    pub thread: usize,
+    /// The scheduling trace (thread index per scheduling point) of the
+    /// failing schedule — replayable by construction for a fixed seed/mode.
+    pub trace: Vec<usize>,
+    /// Which schedule (0-based iteration) failed.
+    pub schedule: usize,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Deadlock { waiting, cycle } => {
+                writeln!(f, "deadlock in schedule {}:", self.schedule)?;
+                for w in waiting {
+                    writeln!(f, "  {w}")?;
+                }
+                if !cycle.is_empty() {
+                    writeln!(f, "  wait cycle: {}", cycle.join(" → "))?;
+                }
+            }
+            FailureKind::LockOrder { cycle } => {
+                writeln!(
+                    f,
+                    "lock-order violation in schedule {}: acquisition cycle {}",
+                    self.schedule,
+                    cycle.join(" → ")
+                )?;
+            }
+            FailureKind::Panic { thread, message } => {
+                writeln!(
+                    f,
+                    "panic on thread {} in schedule {}: {}",
+                    thread, self.schedule, message
+                )?;
+            }
+        }
+        write!(f, "  schedule trace: {:?}", self.trace)
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub schedules_explored: usize,
+    /// Distinct schedule traces observed (collapses duplicate random draws).
+    pub distinct_schedules: usize,
+    /// The first failure found, if any.
+    pub failure: Option<Failure>,
+    /// True for exhaustive mode when the DFS frontier was exhausted below
+    /// `max_schedules` (i.e. the bounded space was fully covered).
+    pub exhausted: bool,
+    /// Per-schedule traces when [`Config::collect_traces`] is set.
+    pub traces: Vec<Vec<usize>>,
+}
+
+impl Report {
+    /// Panics with the failure report if the exploration found one.
+    pub fn assert_ok(&self) {
+        if let Some(failure) = &self.failure {
+            panic!(
+                "loomlite found a failing schedule after exploring {} ({} distinct):\n{}",
+                self.schedules_explored, self.distinct_schedules, failure
+            );
+        }
+    }
+}

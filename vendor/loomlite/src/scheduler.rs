@@ -1,0 +1,645 @@
+//! The cooperative scheduler behind every instrumented primitive.
+//!
+//! A model execution runs each logical thread on a real OS thread, but only
+//! **one** of them is ever unparked: at every instrumented operation the
+//! running thread calls into the scheduler, which (a) updates that thread's
+//! run-state, (b) picks the next thread to run according to the active
+//! schedule policy, and (c) parks the caller until it is picked again. The
+//! result is a fully serialised execution whose interleaving is decided by an
+//! explicit, replayable sequence of scheduling choices — the *schedule trace*.
+//!
+//! Blocking primitives never block for real: a thread that would block on a
+//! mutex, rwlock, condvar or join instead records *what* it waits for and
+//! becomes ineligible until the resource is available. When no thread is
+//! eligible and not every thread has finished, the execution has deadlocked;
+//! the scheduler reports the wait cycle and aborts the schedule.
+//!
+//! The scheduler also maintains a per-schedule **lock-order graph**: an edge
+//! `A → B` is recorded whenever a thread acquires `B` while holding `A`, and a
+//! cycle in that graph is reported as a lock-order violation even when the
+//! explored schedule happened not to deadlock.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::report::{Failure, FailureKind};
+
+/// Zero-sized panic payload used to unwind model threads when a schedule is
+/// aborted (deadlock, lock-order violation, or a failure on another thread).
+pub(crate) struct ModelAbort;
+
+/// Allocates process-global resource ids (mutexes, rwlocks, condvars). Ids are
+/// only used for intra-schedule bookkeeping and diagnostics; schedule traces
+/// contain thread indexes, which are deterministic per schedule.
+static NEXT_RESOURCE_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_resource_id() -> u64 {
+    NEXT_RESOURCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
+}
+
+/// The model-thread context: which scheduler this OS thread belongs to and its
+/// logical thread index there.
+#[derive(Clone)]
+pub(crate) struct ThreadCtx {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) id: usize,
+}
+
+/// The current thread's model context, if it runs under a scheduler.
+pub(crate) fn current_ctx() -> Option<ThreadCtx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<ThreadCtx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Whether the calling OS thread is a model thread (used by the panic hook to
+/// silence expected unwinding inside explorations).
+pub(crate) fn in_model_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// What a logical thread is doing, as far as scheduling is concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting to acquire a mutex (or a write lock: exclusive).
+    Lock(u64),
+    /// Waiting to acquire a shared read lock.
+    Read(u64),
+    /// Parked on a condvar; ineligible until notified. `(condvar, mutex)`.
+    CondWait(u64, u64),
+    /// Waiting for another logical thread to finish.
+    Join(usize),
+    /// Finished (normally or by abort-unwinding).
+    Finished,
+}
+
+/// Ownership state of one lockable resource.
+#[derive(Debug, Default)]
+struct LockState {
+    /// Exclusive owner (mutex holder or rwlock writer).
+    writer: Option<usize>,
+    /// Shared readers (rwlock only).
+    readers: Vec<usize>,
+}
+
+impl LockState {
+    fn free_for_exclusive(&self) -> bool {
+        self.writer.is_none() && self.readers.is_empty()
+    }
+
+    fn free_for_shared(&self) -> bool {
+        self.writer.is_none()
+    }
+}
+
+/// How the next thread is chosen at a scheduling point.
+pub(crate) enum Policy {
+    /// Seeded pseudo-random choice (xorshift64*) among the eligible threads.
+    Random { state: u64 },
+    /// Depth-first systematic exploration: replay the recorded choice prefix,
+    /// then always take the first (lowest-index) option.
+    Dfs { replay: Vec<usize> },
+}
+
+/// One scheduling decision: which rank was chosen out of how many options.
+/// The exhaustive driver increments ranks odometer-style to enumerate paths.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Decision {
+    pub(crate) rank: usize,
+    pub(crate) options: usize,
+}
+
+pub(crate) struct SchedState {
+    threads: Vec<Run>,
+    active: usize,
+    locks: HashMap<u64, LockState>,
+    /// Per-thread stack of held lockable resources (in acquisition order).
+    held: Vec<Vec<u64>>,
+    /// Lock-order edges `held → acquired`, per schedule.
+    edges: HashMap<u64, Vec<u64>>,
+    /// Diagnostic labels for resources, recorded at first contact.
+    names: HashMap<u64, String>,
+    policy: Policy,
+    /// Preemptive switches taken so far (switching away from a still-eligible
+    /// thread).
+    preemptions: usize,
+    /// Budget for preemptive switches; `usize::MAX` when unbounded.
+    max_preemptions: usize,
+    pub(crate) trace: Vec<usize>,
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) failure: Option<Failure>,
+    abort: bool,
+    /// OS join handles of every spawned model thread (incl. the root).
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SchedState {
+    fn eligible(&self, tid: usize) -> bool {
+        match self.threads[tid] {
+            Run::Runnable => true,
+            Run::Lock(rid) => self
+                .locks
+                .get(&rid)
+                .is_none_or(LockState::free_for_exclusive),
+            Run::Read(rid) => self.locks.get(&rid).is_none_or(LockState::free_for_shared),
+            Run::CondWait(..) => false,
+            Run::Join(target) => self.threads[target] == Run::Finished,
+            Run::Finished => false,
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| *t == Run::Finished)
+    }
+
+    fn name_of(&self, rid: u64) -> String {
+        self.names
+            .get(&rid)
+            .cloned()
+            .unwrap_or_else(|| format!("resource#{rid}"))
+    }
+
+    /// Whether `from` can reach `to` in the lock-order graph, collecting the
+    /// path taken (for cycle reports).
+    fn reaches(&self, from: u64, to: u64, path: &mut Vec<u64>, seen: &mut Vec<u64>) -> bool {
+        if from == to {
+            path.push(from);
+            return true;
+        }
+        if seen.contains(&from) {
+            return false;
+        }
+        seen.push(from);
+        if let Some(nexts) = self.edges.get(&from) {
+            for &n in nexts {
+                if self.reaches(n, to, path, seen) {
+                    path.push(from);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The per-schedule scheduler shared by every model thread of one execution.
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+impl Scheduler {
+    pub(crate) fn new(policy: Policy, max_preemptions: Option<usize>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                threads: vec![Run::Runnable],
+                active: 0,
+                locks: HashMap::new(),
+                held: vec![Vec::new()],
+                edges: HashMap::new(),
+                names: HashMap::new(),
+                policy,
+                preemptions: 0,
+                max_preemptions: max_preemptions.unwrap_or(usize::MAX),
+                trace: Vec::new(),
+                decisions: Vec::new(),
+                failure: None,
+                abort: false,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a freshly spawned logical thread and returns its index.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(Run::Runnable);
+        st.held.push(Vec::new());
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn add_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock_state().os_handles.push(handle);
+    }
+
+    /// The scheduling point every instrumented operation funnels through:
+    /// applies `mutate` to the state (typically recording what the caller now
+    /// waits for), picks the next thread, and parks the caller until it is
+    /// scheduled again (at which point any resource it waited for has been
+    /// granted to it).
+    pub(crate) fn transition(&self, me: usize, mutate: impl FnOnce(&mut SchedState)) {
+        let mut st = self.lock_state();
+        if st.abort {
+            // Destructors running while this thread unwinds on ModelAbort may
+            // re-enter instrumented operations; let them proceed on the real
+            // primitives instead of double-panicking or parking forever.
+            if std::thread::panicking() {
+                return;
+            }
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        mutate(&mut st);
+        self.pick_next(&mut st, me);
+        loop {
+            if st.abort {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.threads[me] == Run::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Parks the calling thread until it is scheduled for the first time
+    /// (spawned threads start Runnable but must not run before being picked).
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let mut st = self.lock_state();
+        loop {
+            if st.abort {
+                drop(st);
+                if std::thread::panicking() {
+                    return;
+                }
+                std::panic::panic_any(ModelAbort);
+            }
+            if st.active == me && st.threads[me] == Run::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Picks the next thread to run and grants it whatever it was waiting for.
+    /// Must be called with the state lock held; notifies all parked threads.
+    fn pick_next(&self, st: &mut SchedState, me: usize) {
+        let eligible: Vec<usize> = (0..st.threads.len()).filter(|&t| st.eligible(t)).collect();
+        if eligible.is_empty() {
+            if !st.all_finished() && st.failure.is_none() {
+                let failure = self.deadlock_failure(st);
+                st.failure = Some(failure);
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Preemption bound: while the budget is exhausted, a still-eligible
+        // current thread keeps running (the only schedules pruned are ones
+        // needing yet another preemptive switch).
+        let me_eligible = me < st.threads.len() && st.eligible(me);
+        let options = if me_eligible && st.preemptions >= st.max_preemptions && eligible.len() > 1 {
+            vec![me]
+        } else {
+            eligible
+        };
+        let rank = match &mut st.policy {
+            Policy::Random { state } => (xorshift(state) % options.len() as u64) as usize,
+            Policy::Dfs { replay } => {
+                let depth = st.decisions.len();
+                let r = replay.get(depth).copied().unwrap_or(0);
+                r.min(options.len() - 1)
+            }
+        };
+        st.decisions.push(Decision {
+            rank,
+            options: options.len(),
+        });
+        let chosen = options[rank];
+        if me_eligible && chosen != me {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        st.trace.push(chosen);
+        self.grant(st, chosen);
+        self.cv.notify_all();
+    }
+
+    /// Hands the scheduled thread the resource it was waiting for, recording
+    /// lock-order edges (and failing the schedule on a cycle).
+    fn grant(&self, st: &mut SchedState, chosen: usize) {
+        match st.threads[chosen] {
+            Run::Lock(rid) => {
+                self.record_acquisition(st, chosen, rid);
+                if st.abort {
+                    return;
+                }
+                st.locks.entry(rid).or_default().writer = Some(chosen);
+                st.held[chosen].push(rid);
+                st.threads[chosen] = Run::Runnable;
+            }
+            Run::Read(rid) => {
+                self.record_acquisition(st, chosen, rid);
+                if st.abort {
+                    return;
+                }
+                st.locks.entry(rid).or_default().readers.push(chosen);
+                st.held[chosen].push(rid);
+                st.threads[chosen] = Run::Runnable;
+            }
+            Run::Join(_) => st.threads[chosen] = Run::Runnable,
+            Run::Runnable | Run::CondWait(..) | Run::Finished => {}
+        }
+    }
+
+    /// Adds `held → rid` lock-order edges for everything `chosen` holds and
+    /// aborts with a lock-order violation when an edge closes a cycle.
+    fn record_acquisition(&self, st: &mut SchedState, chosen: usize, rid: u64) {
+        let held = st.held[chosen].clone();
+        for &h in &held {
+            if h == rid {
+                continue;
+            }
+            let already = st.edges.get(&h).is_some_and(|v| v.contains(&rid));
+            if !already {
+                // Adding h → rid closes a cycle iff rid already reaches h.
+                let mut path = Vec::new();
+                let mut seen = Vec::new();
+                if st.reaches(rid, h, &mut path, &mut seen) {
+                    // `path` is rid … h reversed; present it as the acquisition
+                    // cycle h → rid → … → h.
+                    let mut cycle: Vec<String> =
+                        path.iter().rev().map(|r| st.name_of(*r)).collect();
+                    cycle.insert(0, st.name_of(h));
+                    cycle.push(st.name_of(h));
+                    cycle.dedup();
+                    if st.failure.is_none() {
+                        st.failure = Some(Failure {
+                            kind: FailureKind::LockOrder { cycle },
+                            thread: chosen,
+                            trace: st.trace.clone(),
+                            schedule: 0,
+                        });
+                    }
+                    st.abort = true;
+                    return;
+                }
+                st.edges.entry(h).or_default().push(rid);
+            }
+        }
+    }
+
+    /// Builds the deadlock report: what every unfinished thread waits for, and
+    /// the wait-for cycle if one exists through lock ownership.
+    fn deadlock_failure(&self, st: &SchedState) -> Failure {
+        let mut waiting = Vec::new();
+        for (tid, run) in st.threads.iter().enumerate() {
+            let what = match run {
+                Run::Lock(rid) => {
+                    let owner = st
+                        .locks
+                        .get(rid)
+                        .and_then(|l| l.writer)
+                        .map(|o| format!(" held by thread {o}"))
+                        .unwrap_or_default();
+                    format!("waits for lock `{}`{}", st.name_of(*rid), owner)
+                }
+                Run::Read(rid) => format!("waits to read-lock `{}`", st.name_of(*rid)),
+                Run::CondWait(cv, _) => format!(
+                    "parked on condvar `{}` (no thread left to notify it — lost wakeup?)",
+                    st.name_of(*cv)
+                ),
+                Run::Join(t) => format!("joins thread {t}"),
+                Run::Runnable | Run::Finished => continue,
+            };
+            waiting.push(format!("thread {tid} {what}"));
+        }
+        // Follow lock ownership from the first lock-blocked thread to extract
+        // the cycle (if the deadlock is a lock cycle rather than a lost wakeup).
+        let mut cycle = Vec::new();
+        let start = st
+            .threads
+            .iter()
+            .position(|r| matches!(r, Run::Lock(_) | Run::Read(_)));
+        if let Some(mut tid) = start {
+            let mut visited = Vec::new();
+            while let Run::Lock(rid) | Run::Read(rid) = st.threads[tid] {
+                if visited.contains(&tid) {
+                    break;
+                }
+                visited.push(tid);
+                cycle.push(format!("thread {tid} → `{}`", st.name_of(rid)));
+                match st
+                    .locks
+                    .get(&rid)
+                    .and_then(|l| l.writer.or_else(|| l.readers.first().copied()))
+                {
+                    Some(owner) => tid = owner,
+                    None => break,
+                }
+            }
+        }
+        Failure {
+            kind: FailureKind::Deadlock { waiting, cycle },
+            thread: st.active,
+            trace: st.trace.clone(),
+            schedule: 0,
+        }
+    }
+
+    // ---- operations used by the sync shims -------------------------------
+
+    /// Labels `rid` for diagnostics (first label wins).
+    fn label(st: &mut SchedState, rid: u64, label: Option<&str>) {
+        if let Some(l) = label {
+            st.names.entry(rid).or_insert_with(|| l.to_string());
+        }
+    }
+
+    /// Blocks until the calling thread owns `rid` exclusively.
+    pub(crate) fn acquire_exclusive(&self, me: usize, rid: u64, name: Option<&str>) {
+        self.transition(me, |st| {
+            Self::label(st, rid, name);
+            st.threads[me] = Run::Lock(rid);
+        });
+    }
+
+    /// Blocks until the calling thread holds `rid` shared.
+    pub(crate) fn acquire_shared(&self, me: usize, rid: u64, name: Option<&str>) {
+        self.transition(me, |st| {
+            Self::label(st, rid, name);
+            st.threads[me] = Run::Read(rid);
+        });
+    }
+
+    /// Releases `rid` (exclusive or shared) without a scheduling point: the
+    /// next shared-state operation of the releasing thread yields anyway, and
+    /// a woken waiter cannot run before that, so no interleaving is lost.
+    pub(crate) fn release(&self, me: usize, rid: u64) {
+        let mut st = self.lock_state();
+        if let Some(lock) = st.locks.get_mut(&rid) {
+            if lock.writer == Some(me) {
+                lock.writer = None;
+            }
+            lock.readers.retain(|&r| r != me);
+        }
+        if let Some(pos) = st.held[me].iter().rposition(|&h| h == rid) {
+            st.held[me].remove(pos);
+        }
+    }
+
+    /// Releases the mutex and parks on the condvar; returns once the thread
+    /// has been notified *and* re-granted the mutex.
+    pub(crate) fn condvar_wait(
+        &self,
+        me: usize,
+        cvid: u64,
+        rid: u64,
+        cv_name: Option<&str>,
+        lock_name: Option<&str>,
+    ) {
+        self.transition(me, |st| {
+            Self::label(st, cvid, cv_name);
+            Self::label(st, rid, lock_name);
+            if let Some(lock) = st.locks.get_mut(&rid) {
+                if lock.writer == Some(me) {
+                    lock.writer = None;
+                }
+            }
+            if let Some(pos) = st.held[me].iter().rposition(|&h| h == rid) {
+                st.held[me].remove(pos);
+            }
+            st.threads[me] = Run::CondWait(cvid, rid);
+        });
+    }
+
+    /// Moves waiters of `cvid` to the blocked-on-their-mutex state. Wakes the
+    /// lowest-indexed waiter (`all = false`) or every waiter (`all = true`);
+    /// which wakeable thread *runs* first is still a scheduling decision.
+    pub(crate) fn notify(&self, me: usize, cvid: u64, all: bool) {
+        self.transition(me, |st| {
+            let waiters: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(tid, run)| match run {
+                    Run::CondWait(cv, _) if *cv == cvid => Some(tid),
+                    _ => None,
+                })
+                .collect();
+            let chosen: Vec<usize> = if all {
+                waiters
+            } else {
+                waiters.into_iter().take(1).collect()
+            };
+            for tid in chosen {
+                if let Run::CondWait(_, rid) = st.threads[tid] {
+                    st.threads[tid] = Run::Lock(rid);
+                }
+            }
+        });
+    }
+
+    /// A plain yield point (atomic operations, spawn).
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.transition(me, |_| {});
+    }
+
+    /// Blocks until thread `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.transition(me, |st| {
+            st.threads[me] = Run::Join(target);
+        });
+    }
+
+    /// Marks the calling thread finished and hands control onwards.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me] = Run::Finished;
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, me);
+    }
+
+    /// Marks finished without scheduling (abort unwinding path).
+    pub(crate) fn finish_quiet(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me] = Run::Finished;
+        self.cv.notify_all();
+    }
+
+    /// Records a model-code panic as the schedule's failure and aborts every
+    /// other thread.
+    pub(crate) fn record_panic(&self, me: usize, payload: &(dyn std::any::Any + Send)) {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        let mut st = self.lock_state();
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind: FailureKind::Panic {
+                    thread: me,
+                    message,
+                },
+                thread: me,
+                trace: st.trace.clone(),
+                schedule: 0,
+            });
+        }
+        st.threads[me] = Run::Finished;
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks the *driver* (non-model) thread until every model thread has
+    /// finished, then joins their OS threads and returns the outcome.
+    pub(crate) fn wait_done(&self) -> ScheduleOutcome {
+        let handles = {
+            let mut st = self.lock_state();
+            while !st.all_finished() {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            std::mem::take(&mut st.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = self.lock_state();
+        ScheduleOutcome {
+            trace: std::mem::take(&mut st.trace),
+            decisions: std::mem::take(&mut st.decisions),
+            failure: st.failure.take(),
+        }
+    }
+}
+
+/// What one explored schedule produced.
+pub(crate) struct ScheduleOutcome {
+    pub(crate) trace: Vec<usize>,
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) failure: Option<Failure>,
+}

@@ -1,0 +1,582 @@
+//! Instrumented synchronization primitives.
+//!
+//! Every primitive has two behaviours:
+//!
+//! - **Under a scheduler** (inside [`crate::explore`]): each operation is a
+//!   scheduling point. Acquisition is *granted logically* by the scheduler
+//!   before the (uncontended, hence non-blocking) real lock is taken, so model
+//!   threads never block on anything the scheduler cannot see.
+//! - **Standalone** (no active exploration on this thread): plain std
+//!   behaviour, so `--cfg maliva_model_check` builds still run their ordinary
+//!   unit tests correctly.
+//!
+//! Mutexes here do not expose poisoning: a panic while holding a guard aborts
+//! the whole schedule anyway, and the non-model facade recovers poison.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use crate::scheduler::{current_ctx, fresh_resource_id, ThreadCtx};
+
+/// A mutual-exclusion lock whose acquisition order is controlled by the
+/// scheduler during model checking.
+pub struct Mutex<T: ?Sized> {
+    rid: u64,
+    name: Option<&'static str>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            rid: fresh_resource_id(),
+            name: None,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Like [`Mutex::new`], but deadlock / lock-order reports will show
+    /// `name` instead of an anonymous resource id.
+    pub fn with_name(value: T, name: &'static str) -> Self {
+        Self {
+            rid: fresh_resource_id(),
+            name: Some(name),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let model =
+            current_ctx().inspect(|ctx| ctx.sched.acquire_exclusive(ctx.id, self.rid, self.name));
+        // With a logical grant the real lock is uncontended; without a
+        // scheduler this is an ordinary blocking lock.
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            model,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]. Releases both the real and the logical
+/// lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<ThreadCtx>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already defused")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard already defused")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real unlock first, then the logical release; no other model thread
+        // can be scheduled in between.
+        self.inner.take();
+        if let Some(ctx) = self.model.take() {
+            ctx.sched.release(ctx.id, self.lock.rid);
+        }
+    }
+}
+
+/// A reader-writer lock with scheduler-controlled acquisition.
+pub struct RwLock<T: ?Sized> {
+    rid: u64,
+    name: Option<&'static str>,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        Self {
+            rid: fresh_resource_id(),
+            name: None,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn with_name(value: T, name: &'static str) -> Self {
+        Self {
+            rid: fresh_resource_id(),
+            name: Some(name),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let model =
+            current_ctx().inspect(|ctx| ctx.sched.acquire_shared(ctx.id, self.rid, self.name));
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+            model,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let model =
+            current_ctx().inspect(|ctx| ctx.sched.acquire_exclusive(ctx.id, self.rid, self.name));
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+            model,
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<ThreadCtx>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already defused")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some(ctx) = self.model.take() {
+            ctx.sched.release(ctx.id, self.lock.rid);
+        }
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<ThreadCtx>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard already defused")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard already defused")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some(ctx) = self.model.take() {
+            ctx.sched.release(ctx.id, self.lock.rid);
+        }
+    }
+}
+
+/// A condition variable. During model checking, waiting releases the mutex
+/// logically and parks the logical thread; notification is a scheduling
+/// point, and lost wakeups surface as deadlocks.
+pub struct Condvar {
+    id: u64,
+    name: Option<&'static str>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Self {
+            id: fresh_resource_id(),
+            name: None,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn with_name(name: &'static str) -> Self {
+        Self {
+            id: fresh_resource_id(),
+            name: Some(name),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        match guard.model.take() {
+            Some(ctx) => {
+                let lock = guard.lock;
+                // Defuse: drop the real guard now; the logical release is
+                // performed atomically with parking by the scheduler.
+                guard.inner.take();
+                drop(guard);
+                // Pre-park scheduling point, mutex still logically held: this
+                // models a preemption between deciding to wait and actually
+                // parking, which is exactly where lock-free notifiers lose
+                // their wakeup. Notifiers that hold the mutex are unaffected.
+                ctx.sched.yield_point(ctx.id);
+                ctx.sched
+                    .condvar_wait(ctx.id, self.id, lock.rid, self.name, lock.name);
+                // Woken up with the mutex logically re-granted.
+                let inner = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+                MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: Some(ctx),
+                }
+            }
+            None => {
+                let lock = guard.lock;
+                let std_guard = guard.inner.take().expect("guard already defused");
+                drop(guard);
+                let inner = self
+                    .inner
+                    .wait(std_guard)
+                    .unwrap_or_else(|e| e.into_inner());
+                MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: None,
+                }
+            }
+        }
+    }
+
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> MutexGuard<'a, T>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    pub fn notify_one(&self) {
+        match current_ctx() {
+            Some(ctx) => ctx.sched.notify(ctx.id, self.id, false),
+            None => self.inner.notify_one(),
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match current_ctx() {
+            Some(ctx) => ctx.sched.notify(ctx.id, self.id, true),
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Instrumented atomics: every operation is a scheduling point, so the
+/// explorer can interleave threads between a load and a dependent store —
+/// which is exactly how check-then-act races are exposed.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::scheduler::current_ctx;
+
+    fn yield_point() {
+        if let Some(ctx) = current_ctx() {
+            ctx.sched.yield_point(ctx.id);
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                pub fn new(v: $int) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                pub fn load(&self, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.load(order)
+                }
+
+                pub fn store(&self, v: $int, order: Ordering) {
+                    yield_point();
+                    self.inner.store(v, order)
+                }
+
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.swap(v, order)
+                }
+
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.fetch_add(v, order)
+                }
+
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.fetch_sub(v, order)
+                }
+
+                pub fn fetch_max(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.fetch_max(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_point();
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_point();
+            self.inner.load(order)
+        }
+
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_point();
+            self.inner.store(v, order)
+        }
+
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.swap(v, order)
+        }
+
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+}
+
+/// A multi-producer single-consumer channel built on the instrumented mutex
+/// and condvar, so model threads never block invisibly inside a real channel.
+pub mod mpsc {
+    use super::{Arc, Condvar, Mutex, VecDeque};
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    struct Chan<T> {
+        queue: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChanState<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::with_name(
+                ChanState {
+                    items: VecDeque::new(),
+                    senders: 1,
+                    receiver_alive: true,
+                },
+                "mpsc",
+            ),
+            ready: Condvar::with_name("mpsc.ready"),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.queue.lock();
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.items.push_back(value);
+            drop(st);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.queue.lock().senders += 1;
+            Self {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.queue.lock();
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.queue.lock();
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.ready.wait(st);
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.queue.lock();
+            match st.items.pop_front() {
+                Some(item) => Ok(item),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.queue.lock().receiver_alive = false;
+        }
+    }
+
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}

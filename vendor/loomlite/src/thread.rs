@@ -1,0 +1,132 @@
+//! Instrumented `thread::spawn`/`JoinHandle`.
+//!
+//! Inside an exploration, spawning registers a new logical thread with the
+//! scheduler and runs it on a real OS thread that parks until scheduled;
+//! joining is a scheduling point that blocks logically (never on the OS).
+//! Outside an exploration this delegates to `std::thread`.
+
+use std::sync::{Arc, Mutex};
+
+use crate::scheduler::{current_ctx, set_ctx, ModelAbort, Scheduler, ThreadCtx};
+
+enum Handle<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Scheduler>,
+        target: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Owned permission to join a spawned thread.
+pub struct JoinHandle<T> {
+    inner: Handle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside an
+    /// exploration this parks only logically; a panicked or aborted model
+    /// thread yields `Err`, mirroring `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Handle::Std(h) => h.join(),
+            Handle::Model {
+                sched,
+                target,
+                result,
+            } => {
+                let ctx =
+                    current_ctx().expect("model JoinHandle joined from outside the exploration");
+                debug_assert!(Arc::ptr_eq(&ctx.sched, &sched));
+                sched.join_thread(ctx.id, target);
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .unwrap_or_else(|| Err(Box::new("model thread aborted")))
+            }
+        }
+    }
+}
+
+/// Spawns a thread. A scheduling point when called inside an exploration.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        Some(ctx) => {
+            let target = ctx.sched.register_thread();
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            let os_handle = {
+                let sched = ctx.sched.clone();
+                let result = result.clone();
+                std::thread::spawn(move || {
+                    run_model_thread(sched, target, f, result);
+                })
+            };
+            ctx.sched.add_os_handle(os_handle);
+            // Let the scheduler decide whether the child runs before the
+            // spawner continues.
+            ctx.sched.yield_point(ctx.id);
+            JoinHandle {
+                inner: Handle::Model {
+                    sched: ctx.sched,
+                    target,
+                    result,
+                },
+            }
+        }
+        None => JoinHandle {
+            inner: Handle::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// Body of every model OS thread, including the exploration root: installs the
+/// thread context, parks until first scheduled, runs the payload, and reports
+/// the outcome (normal finish, abort unwind, or panic) to the scheduler.
+pub(crate) fn run_model_thread<F, T>(
+    sched: Arc<Scheduler>,
+    id: usize,
+    f: F,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+) where
+    F: FnOnce() -> T,
+{
+    set_ctx(Some(ThreadCtx {
+        sched: sched.clone(),
+        id,
+    }));
+    // The first-schedule park lives inside catch_unwind too: an abort raised
+    // before this thread ever runs must still reach the finish protocol.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched.wait_first_schedule(id);
+        f()
+    }));
+    set_ctx(None);
+    match outcome {
+        Ok(value) => {
+            *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(value));
+            sched.finish(id);
+        }
+        Err(payload) => {
+            if payload.is::<ModelAbort>() {
+                sched.finish_quiet(id);
+            } else {
+                sched.record_panic(id, payload.as_ref());
+                *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Err(payload));
+            }
+        }
+    }
+}
+
+/// Cooperative yield: a pure scheduling point inside an exploration, a
+/// `std::thread::yield_now` outside.
+pub fn yield_now() {
+    match current_ctx() {
+        Some(ctx) => ctx.sched.yield_point(ctx.id),
+        None => std::thread::yield_now(),
+    }
+}
