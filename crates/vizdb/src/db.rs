@@ -460,13 +460,14 @@ impl Database {
     /// Runs the rewritten query and returns its materialised result, plan, operation
     /// counts and simulated execution time.
     pub fn run(&self, query: &Query, ro: &RewriteOption) -> Result<RunOutcome> {
-        self.run_inner(query, ro, true, ExecEngine::Compiled)
+        self.run_inner(query, ro, true, ExecEngine::default())
     }
 
-    /// [`Database::run`] with an explicit execution engine — the interpreter and
-    /// the compiled batch engine are observationally identical (same results,
-    /// same work profile, same simulated time); the knob exists for equivalence
-    /// tests and the `exec` benchmark that measures the wall-clock gap.
+    /// [`Database::run`] with an explicit execution engine — the interpreter,
+    /// the compiled id-vector engine and the compiled bitmap engine are
+    /// observationally identical (same results, same work profile, same
+    /// simulated time); the knob exists for equivalence tests and the `exec`
+    /// benchmark that measures the wall-clock gaps.
     pub fn run_with_engine(
         &self,
         query: &Query,
@@ -488,7 +489,7 @@ impl Database {
         // the returned outcome carries the canonical time), so no second insert —
         // and no second key hash — is needed here.
         Ok(self
-            .run_inner(query, ro, false, ExecEngine::Compiled)?
+            .run_inner(query, ro, false, ExecEngine::default())?
             .time_ms)
     }
 

@@ -24,22 +24,39 @@
 
 use std::collections::HashMap;
 
+use crate::bitmap::{CHUNK_BITS, CHUNK_WORDS};
 use crate::error::Result;
 use crate::query::{BinGrid, Predicate};
 use crate::storage::{Table, TextColumn};
 use crate::timing::WorkProfile;
 use crate::types::{GeoPoint, GeoRect, NumRange, RecordId, TimeRange, Timestamp, TokenId};
 
-/// Which execution path the executor takes. The compiled engine is the default;
-/// the interpreter is kept as the semantic reference (equivalence is pinned by a
-/// property test) and as the fallback for queries that fail to compile.
+/// Which execution path the executor takes. The compiled bitmap engine is the
+/// default; the interpreter is kept as the semantic reference (equivalence is
+/// pinned by a property test) and as the fallback for queries that fail to
+/// compile, and the id-vector engine is the intermediate point — compiled
+/// predicates over `Vec<RecordId>` selection vectors — kept both as a second
+/// reference and as the baseline the bench compares bitmaps against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
     /// Row-at-a-time `Result`-dispatched predicate interpretation.
     Interpreted,
-    /// Predicates lowered once per execution, evaluated over record-id batches.
+    /// Predicates lowered once per execution, evaluated over record-id batches
+    /// held as sorted `Vec<RecordId>` selection vectors.
+    CompiledIdVec,
+    /// Predicates lowered once per execution, candidates carried as
+    /// [`SelectionBitmap`](crate::bitmap::SelectionBitmap)s and refined
+    /// chunk-by-chunk over 64-bit words.
     #[default]
-    Compiled,
+    CompiledBitmap,
+}
+
+impl ExecEngine {
+    /// `true` for both compiled variants — they share predicate lowering and
+    /// the interpreter fallback for uncompilable queries.
+    pub fn is_compiled(self) -> bool {
+        !matches!(self, ExecEngine::Interpreted)
+    }
 }
 
 /// Record ids per selection-vector batch. Small enough that a batch of ids plus
@@ -170,6 +187,85 @@ impl CompiledPredicate<'_> {
                         out.push(start + i as RecordId);
                     }
                 }
+            }
+        }
+    }
+
+    /// Evaluates the predicate over the contiguous row range `[start, end)`
+    /// of one 4096-row chunk, setting the bit of each matching row in `words`
+    /// (bit index = `rid - chunk_base`, where the chunk base is `start` rounded
+    /// down to a [`CHUNK_BITS`] boundary). The range kernels are branchless —
+    /// the comparison result is shifted into the word directly, the shape
+    /// auto-vectorisation likes — and the keyword kernel reuses the CSR stripe
+    /// sweep via `scratch`.
+    #[inline]
+    fn fill_words(
+        &self,
+        start: RecordId,
+        end: RecordId,
+        words: &mut [u64; CHUNK_WORDS],
+        scratch: &mut Vec<RecordId>,
+    ) {
+        let base = start & !(CHUNK_BITS as RecordId - 1);
+        let (s, e) = (start as usize, end as usize);
+        match self {
+            CompiledPredicate::Keyword { docs, token } => {
+                if let Some(t) = token {
+                    scratch.clear();
+                    docs.rows_containing(s, e, *t, scratch);
+                    for &rid in scratch.iter() {
+                        let off = (rid - base) as usize;
+                        words[off >> 6] |= 1u64 << (off & 63);
+                    }
+                }
+            }
+            CompiledPredicate::Time { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    let off = (start - base) as usize + i;
+                    words[off >> 6] |= (range.contains(*v) as u64) << (off & 63);
+                }
+            }
+            CompiledPredicate::NumericInt { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    let off = (start - base) as usize + i;
+                    words[off >> 6] |= (range.contains(*v as f64) as u64) << (off & 63);
+                }
+            }
+            CompiledPredicate::NumericFloat { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    let off = (start - base) as usize + i;
+                    words[off >> 6] |= (range.contains(*v) as u64) << (off & 63);
+                }
+            }
+            CompiledPredicate::NumericTimestamp { col, range } => {
+                for (i, v) in col[s..e].iter().enumerate() {
+                    let off = (start - base) as usize + i;
+                    words[off >> 6] |= (range.contains(*v as f64) as u64) << (off & 63);
+                }
+            }
+            CompiledPredicate::Spatial { col, rect } => {
+                for (i, p) in col[s..e].iter().enumerate() {
+                    let off = (start - base) as usize + i;
+                    words[off >> 6] |= (rect.contains(p) as u64) << (off & 63);
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates the predicate for every set bit of one chunk's `words`
+    /// (rows `chunk_base + bit`), clearing the bits that fail. The residual
+    /// analogue of [`CompiledPredicate::filter`] for bitmap selections.
+    #[inline]
+    fn refine_words(&self, chunk_base: RecordId, words: &mut [u64; CHUNK_WORDS]) {
+        for (wi, word) in words.iter_mut().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                let rid = chunk_base + ((wi as RecordId) << 6) + bit;
+                if !self.eval(rid) {
+                    *word &= !(1u64 << bit);
+                }
+                w &= w - 1;
             }
         }
     }
@@ -382,6 +478,95 @@ pub fn qualify_batches(
     }
 }
 
+#[inline]
+fn popcount(words: &[u64; CHUNK_WORDS]) -> u64 {
+    words.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+/// Chunk-qualifies the contiguous row range `rows` through the compiled
+/// conjunction, returning the qualifying rows as a [`SelectionBitmap`]. The
+/// first predicate fills each 4096-row chunk's words with a branchless columnar
+/// kernel ([`CompiledPredicate::fill_words`]); later predicates re-evaluate
+/// only the set bits ([`CompiledPredicate::refine_words`]).
+///
+/// `filter_evals` accounting matches [`qualify_range`] (and therefore the
+/// short-circuiting interpreter) exactly: predicate `k` is charged once per
+/// row that survived predicates `0..k` — a chunk's surviving-row count is one
+/// `popcount` away.
+pub fn qualify_range_bitmap(
+    preds: &[CompiledPredicate<'_>],
+    rows: std::ops::Range<RecordId>,
+    work: &mut WorkProfile,
+    mut per_batch_rows: impl FnMut(&mut WorkProfile, u64),
+) -> crate::bitmap::SelectionBitmap {
+    let mut writer = crate::bitmap::ChunkWriter::new();
+    let mut scratch: Vec<RecordId> = Vec::new();
+    let mut start = rows.start;
+    while start < rows.end {
+        let base = start & !(CHUNK_BITS as RecordId - 1);
+        let end = rows.end.min(base + CHUNK_BITS as RecordId);
+        per_batch_rows(work, (end - start) as u64);
+        let mut words = [0u64; CHUNK_WORDS];
+        match preds.first() {
+            Some(first) => {
+                work.filter_evals += (end - start) as u64;
+                first.fill_words(start, end, &mut words, &mut scratch);
+            }
+            None => crate::bitmap::set_span(
+                &mut words,
+                (start - base) as usize,
+                (end - 1 - base) as usize,
+            ),
+        }
+        for pred in preds.get(1..).unwrap_or(&[]) {
+            let survivors = popcount(&words);
+            if survivors == 0 {
+                break;
+            }
+            work.filter_evals += survivors;
+            pred.refine_words(base, &mut words);
+        }
+        if popcount(&words) > 0 {
+            writer.push_words(base >> CHUNK_BITS.trailing_zeros(), &words);
+        }
+        start = end;
+    }
+    writer.finish()
+}
+
+/// Refines an index-candidate [`SelectionBitmap`] through the compiled residual
+/// conjunction chunk by chunk. Every predicate (including the first) sees only
+/// the already-selected rows, so each is charged `popcount` of the surviving
+/// words — the same count [`qualify_slice`] charges on the id-vector path.
+pub fn qualify_bitmap(
+    preds: &[CompiledPredicate<'_>],
+    candidates: &crate::bitmap::SelectionBitmap,
+    work: &mut WorkProfile,
+    mut per_batch_rows: impl FnMut(&mut WorkProfile, u64),
+) -> crate::bitmap::SelectionBitmap {
+    let mut writer = crate::bitmap::ChunkWriter::new();
+    candidates.for_each_chunk(|chunk_id, words| {
+        let n = popcount(words);
+        if n == 0 {
+            return;
+        }
+        per_batch_rows(work, n);
+        let base = chunk_id << CHUNK_BITS.trailing_zeros();
+        for pred in preds {
+            let survivors = popcount(words);
+            if survivors == 0 {
+                break;
+            }
+            work.filter_evals += survivors;
+            pred.refine_words(base, words);
+        }
+        if popcount(words) > 0 {
+            writer.push_words(chunk_id, words);
+        }
+    });
+    writer.finish()
+}
+
 /// The outcome of binned-count accumulation: how many cells are non-empty
 /// (charged to `output_rows`) and, only when the caller materializes, the
 /// sorted `(bin, count)` pairs — count-only executions (the simulated-time
@@ -409,13 +594,32 @@ pub fn bin_counts(
     qualifying: &[RecordId],
     materialize: bool,
 ) -> BinnedAccum {
+    bin_counts_iter(
+        grid,
+        geo,
+        qualifying.iter().copied(),
+        qualifying.len(),
+        materialize,
+    )
+}
+
+/// [`bin_counts`] over any ascending record-id stream (a bitmap iterator, a
+/// slice): `row_count` feeds the dense-vs-sparse heuristic, which needs the
+/// cardinality before consuming the stream.
+pub fn bin_counts_iter(
+    grid: &BinGrid,
+    geo: &[GeoPoint],
+    qualifying: impl Iterator<Item = RecordId>,
+    row_count: usize,
+    materialize: bool,
+) -> BinnedAccum {
     let cells = grid.cell_count();
     let dense = cells > 0
         && cells <= DENSE_GRID_MAX_CELLS
-        && (cells <= 4096 || cells <= qualifying.len().saturating_mul(8));
+        && (cells <= 4096 || cells <= row_count.saturating_mul(8));
     if dense {
         let mut counts: Vec<u64> = vec![0; cells];
-        for &rid in qualifying {
+        for rid in qualifying {
             let p = geo[rid as usize];
             if let Some(bin) = grid.bin_of(p.lon, p.lat) {
                 counts[bin as usize] += 1;
@@ -439,11 +643,7 @@ pub fn bin_counts(
             }
         }
     } else {
-        sparse_bin_accum(
-            grid,
-            qualifying.iter().map(|&rid| geo[rid as usize]),
-            materialize,
-        )
+        sparse_bin_accum(grid, qualifying.map(|rid| geo[rid as usize]), materialize)
     }
 }
 
@@ -584,6 +784,50 @@ mod tests {
             assert_eq!(qualifying, expected, "entry point {entry}");
             assert_eq!(work, row_work, "entry point {entry}");
         }
+    }
+
+    #[test]
+    fn bitmap_qualify_matches_idvec_qualify() {
+        let t = table();
+        let preds = compile_predicates(
+            &[
+                Predicate::time_range(1, 0, 490),
+                Predicate::keyword(3, "hot"),
+                Predicate::numeric_range(4, 5.0, 20.0),
+            ],
+            &[0, 1, 2],
+            &t,
+        )
+        .unwrap();
+        let rows = t.row_count() as RecordId;
+        let seq = |w: &mut WorkProfile, n: u64| w.seq_rows += n;
+
+        // Full-range scan: same survivors, same work profile.
+        let mut idvec_work = WorkProfile::default();
+        let mut idvec = Vec::new();
+        qualify_range(&preds, 0..rows, &mut idvec, &mut idvec_work, seq);
+        let mut bm_work = WorkProfile::default();
+        let bm = qualify_range_bitmap(&preds, 0..rows, &mut bm_work, seq);
+        assert_eq!(bm.to_vec(), idvec);
+        assert_eq!(bm_work, idvec_work);
+
+        // Candidate refinement: seed with every third row, run the residual
+        // conjunction both ways.
+        let cands: Vec<RecordId> = (0..rows).step_by(3).collect();
+        let cand_bm = crate::bitmap::SelectionBitmap::from_sorted(&cands);
+        let mut idvec_work = WorkProfile::default();
+        let mut idvec = Vec::new();
+        qualify_slice(&preds, &cands, &mut idvec, &mut idvec_work, seq);
+        let mut bm_work = WorkProfile::default();
+        let refined = qualify_bitmap(&preds, &cand_bm, &mut bm_work, seq);
+        assert_eq!(refined.to_vec(), idvec);
+        assert_eq!(bm_work, idvec_work);
+
+        // No predicates: the range bitmap is the identity selection.
+        let empty: [CompiledPredicate<'_>; 0] = [];
+        let mut w = WorkProfile::default();
+        let all = qualify_range_bitmap(&empty, 5..rows, &mut w, seq);
+        assert_eq!(all.to_vec(), (5..rows).collect::<Vec<_>>());
     }
 
     #[test]

@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 
 use crate::approx::ApproxRule;
+use crate::bitmap::SelectionBitmap;
 use crate::error::{Error, Result};
 use crate::exec::compiled::{self, ExecEngine};
 use crate::exec::result::QueryResult;
 use crate::hints::JoinMethod;
-use crate::index::{intersect_adaptive, BPlusTree, InvertedIndex, RTree};
+use crate::index::{intersect_adaptive, intersect_skip_charge, BPlusTree, InvertedIndex, RTree};
 use crate::plan::PhysicalPlan;
 use crate::query::{BinGrid, OutputKind, Predicate, Query};
 use crate::storage::{SampleTable, Table};
@@ -33,6 +34,48 @@ pub struct ExecTable<'a> {
     pub inverted: &'a HashMap<usize, InvertedIndex>,
     /// Pre-built sample tables keyed by sampling percentage.
     pub samples: &'a HashMap<u32, SampleTable>,
+}
+
+/// Phase-1 candidate selection: either "scan everything" or the rows surviving
+/// the plan's index predicates, in the representation the engine works in.
+enum Candidates {
+    /// No index predicates — phase 2 runs a sequential scan.
+    Seq,
+    /// Sorted record ids (interpreter and compiled id-vector engines).
+    Ids(Vec<RecordId>),
+    /// Bitmap selection (compiled bitmap engine).
+    Bitmap(SelectionBitmap),
+}
+
+/// Phase-2 output: the qualifying rows, still in engine representation. Both
+/// variants enumerate ids in ascending order, so the output phases are
+/// representation-agnostic.
+enum Qualified {
+    Ids(Vec<RecordId>),
+    Bitmap(SelectionBitmap),
+}
+
+impl Qualified {
+    fn len(&self) -> usize {
+        match self {
+            Qualified::Ids(v) => v.len(),
+            Qualified::Bitmap(b) => b.len(),
+        }
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = RecordId> + '_> {
+        match self {
+            Qualified::Ids(v) => Box::new(v.iter().copied()),
+            Qualified::Bitmap(b) => Box::new(b.iter()),
+        }
+    }
+
+    fn into_ids(self) -> Vec<RecordId> {
+        match self {
+            Qualified::Ids(v) => v,
+            Qualified::Bitmap(b) => b.to_vec(),
+        }
+    }
 }
 
 /// The outcome of executing a plan.
@@ -66,19 +109,20 @@ pub fn execute(
         dim,
         limit_rows,
         materialize,
-        ExecEngine::Compiled,
+        ExecEngine::default(),
     )
 }
 
 /// [`execute`] with an explicit choice of execution engine.
 ///
-/// The compiled engine lowers the residual predicates once, evaluates them over
-/// record-id batches with a selection-vector loop, and bins bounded grids
-/// densely; it is observationally identical to the interpreter (same
-/// [`QueryResult`] bytes, same [`WorkProfile`]), which the
-/// `exec_equivalence` property suite pins. Queries whose predicates cannot
-/// compile (type mismatch, bad attribute) silently take the interpreter path so
-/// error behaviour is identical too.
+/// The compiled engines lower the residual predicates once and bin bounded
+/// grids densely; the id-vector variant evaluates them over record-id batches
+/// with a selection-vector loop, the bitmap variant carries candidates as
+/// [`SelectionBitmap`]s and refines 4096-row chunks over 64-bit words. All
+/// three are observationally identical (same [`QueryResult`] bytes, same
+/// [`WorkProfile`]), which the `exec_equivalence` property suite pins. Queries
+/// whose predicates cannot compile (type mismatch, bad attribute) silently
+/// take the interpreter path so error behaviour is identical too.
 pub fn execute_with(
     query: &Query,
     plan: &PhysicalPlan,
@@ -93,11 +137,19 @@ pub fn execute_with(
     // Resolve the row restriction induced by sampling approximation rules.
     let restriction = SampleRestriction::resolve(plan, fact)?;
 
-    // Phase 1: candidate record ids on the fact table.
+    // Phase 1: candidate record ids on the fact table, in engine representation.
     let candidates = if plan.index_preds.is_empty() {
-        None // sequential scan handled in phase 2
+        Candidates::Seq // sequential scan handled in phase 2
+    } else if engine == ExecEngine::CompiledBitmap {
+        Candidates::Bitmap(index_candidates_bitmap(
+            query,
+            plan,
+            fact,
+            &restriction,
+            &mut work,
+        )?)
     } else {
-        Some(index_candidates(
+        Candidates::Ids(index_candidates(
             query,
             plan,
             fact,
@@ -107,15 +159,15 @@ pub fn execute_with(
     };
 
     // Phase 2: qualify rows (residual predicates), honouring the LIMIT cap.
-    // The vector is pre-sized from the planner's cardinality estimate instead of
-    // growing from empty (bounded by the cap and the table itself).
+    // Id vectors are pre-sized from the planner's cardinality estimate instead
+    // of growing from empty (bounded by the cap and the table itself).
     let cap = limit_rows.unwrap_or(usize::MAX).max(1);
     let reserve = (plan.est_rows as usize)
         .min(cap)
         .min(fact.table.row_count());
-    let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
-    match candidates {
-        Some(cands) => {
+    let mut qualified = match candidates {
+        Candidates::Ids(cands) => {
+            let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
             let residual = compile_residual(query, &plan.filter_preds, fact.table, engine);
             match residual {
                 // Uncapped: every candidate is heap-fetched, so batches are exact.
@@ -159,8 +211,60 @@ pub fn execute_with(
                     }
                 }
             }
+            Qualified::Ids(qualifying)
         }
-        None => {
+        Candidates::Bitmap(cands) => {
+            let residual = compile_residual(query, &plan.filter_preds, fact.table, engine);
+            match residual {
+                // Uncapped: refine the candidate bitmap chunk-by-chunk; every
+                // candidate is heap-fetched, charged per chunk popcount.
+                Some(preds) if limit_rows.is_none() => Qualified::Bitmap(compiled::qualify_bitmap(
+                    &preds,
+                    &cands,
+                    &mut work,
+                    |w, rows| w.heap_fetches += rows,
+                )),
+                // Capped: row-at-a-time over the bitmap iterator so rows past
+                // the cap stay untouched, exactly like the interpreter.
+                Some(preds) => {
+                    let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
+                    for rid in cands.iter() {
+                        work.heap_fetches += 1;
+                        if compiled::eval_row(&preds, rid, &mut work) {
+                            qualifying.push(rid);
+                            if qualifying.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                    Qualified::Ids(qualifying)
+                }
+                // Uncompilable residual: interpreter loop over the bitmap
+                // iterator (same ascending order as the id-vector path).
+                None => {
+                    let tokens = resolve_keyword_tokens(query, fact.table);
+                    let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
+                    for rid in cands.iter() {
+                        work.heap_fetches += 1;
+                        if eval_preds(
+                            query,
+                            &plan.filter_preds,
+                            &tokens,
+                            fact.table,
+                            rid,
+                            &mut work,
+                        )? {
+                            qualifying.push(rid);
+                            if qualifying.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                    Qualified::Ids(qualifying)
+                }
+            }
+        }
+        Candidates::Seq => {
             // Sequential scan over the (possibly sampled) table.
             let row_count = fact.table.row_count() as RecordId;
             let boxed_iter = || -> Box<dyn Iterator<Item = RecordId> + '_> {
@@ -180,30 +284,53 @@ pub fn execute_with(
             let residual = compile_residual(query, &all_preds, fact.table, engine);
             match residual {
                 // Uncapped: the batch entry point matching the restriction shape
-                // (contiguous range, materialised id list, filtered stream).
+                // (contiguous range, materialised id list, filtered stream). The
+                // bitmap engine takes the columnar word-fill kernel on the
+                // unrestricted contiguous scan — the hottest shape — and the
+                // id-vector entry points on sampled scans, whose accounting is
+                // identical by construction.
                 Some(preds) if limit_rows.is_none() => {
                     let seq = |w: &mut WorkProfile, rows: u64| w.seq_rows += rows;
                     match &restriction {
-                        SampleRestriction::All => compiled::qualify_range(
-                            &preds,
-                            0..row_count,
-                            &mut qualifying,
-                            &mut work,
-                            seq,
-                        ),
-                        SampleRestriction::SampleRows(rows) => {
-                            compiled::qualify_slice(&preds, rows, &mut qualifying, &mut work, seq)
+                        SampleRestriction::All if engine == ExecEngine::CompiledBitmap => {
+                            Qualified::Bitmap(compiled::qualify_range_bitmap(
+                                &preds,
+                                0..row_count,
+                                &mut work,
+                                seq,
+                            ))
                         }
-                        SampleRestriction::HashFraction(_) => compiled::qualify_batches(
-                            &preds,
-                            boxed_iter(),
-                            &mut qualifying,
-                            &mut work,
-                            seq,
-                        ),
+                        SampleRestriction::All => {
+                            let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
+                            compiled::qualify_range(
+                                &preds,
+                                0..row_count,
+                                &mut qualifying,
+                                &mut work,
+                                seq,
+                            );
+                            Qualified::Ids(qualifying)
+                        }
+                        SampleRestriction::SampleRows(rows) => {
+                            let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
+                            compiled::qualify_slice(&preds, rows, &mut qualifying, &mut work, seq);
+                            Qualified::Ids(qualifying)
+                        }
+                        SampleRestriction::HashFraction(_) => {
+                            let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
+                            compiled::qualify_batches(
+                                &preds,
+                                boxed_iter(),
+                                &mut qualifying,
+                                &mut work,
+                                seq,
+                            );
+                            Qualified::Ids(qualifying)
+                        }
                     }
                 }
                 Some(preds) => {
+                    let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
                     for rid in boxed_iter() {
                         work.seq_rows += 1;
                         if compiled::eval_row(&preds, rid, &mut work) {
@@ -213,9 +340,11 @@ pub fn execute_with(
                             }
                         }
                     }
+                    Qualified::Ids(qualifying)
                 }
                 None => {
                     let tokens = resolve_keyword_tokens(query, fact.table);
+                    let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
                     for rid in boxed_iter() {
                         work.seq_rows += 1;
                         if eval_preds(query, &all_preds, &tokens, fact.table, rid, &mut work)? {
@@ -225,75 +354,96 @@ pub fn execute_with(
                             }
                         }
                     }
+                    Qualified::Ids(qualifying)
                 }
             }
         }
-    }
+    };
 
-    // Phase 3: join with the dimension table.
+    // Phase 3: join with the dimension table (id-vector representation — join
+    // probing is inherently row-at-a-time).
     if let Some(join_plan) = &plan.join {
         let spec = query
             .join
             .as_ref()
             .ok_or_else(|| Error::InvalidQuery("plan has a join but the query does not".into()))?;
         let dim = dim.ok_or_else(|| Error::TableNotFound(join_plan.right_table.clone()))?;
-        qualifying = execute_join(
+        let fact_rows = qualified.into_ids();
+        qualified = Qualified::Ids(execute_join(
             query,
             join_plan.method,
             spec,
-            &qualifying,
+            &fact_rows,
             fact,
             dim,
             &mut work,
-        )?;
+        )?);
     }
 
-    let result_rows = qualifying.len();
+    let result_rows = qualified.len();
 
-    // Phase 4: shape the output.
+    // Phase 4: shape the output. Both representations enumerate ids ascending,
+    // so the output bytes cannot depend on the engine.
     let result = match &query.output {
         OutputKind::Points {
             id_attr,
             point_attr,
         } => {
-            work.output_rows += qualifying.len() as u64;
+            work.output_rows += result_rows as u64;
             if materialize {
-                let mut points = Vec::with_capacity(qualifying.len());
-                for &rid in &qualifying {
+                let mut points = Vec::with_capacity(result_rows);
+                for rid in qualified.iter() {
                     let id = fact.table.int(*id_attr, rid).unwrap_or(rid as i64);
                     let p = fact.table.geo(*point_attr, rid)?;
                     points.push((id, p));
                 }
                 QueryResult::Points(points)
             } else {
-                QueryResult::Count(qualifying.len() as u64)
+                QueryResult::Count(result_rows as u64)
             }
         }
         OutputKind::BinnedCounts { point_attr, grid } => {
-            work.grouped_rows += qualifying.len() as u64;
-            let binned = match engine {
+            work.grouped_rows += result_rows as u64;
+            let binned = if engine.is_compiled() {
                 // Bind the geo column once and bin densely; a failed binding
                 // falls back to the per-row path, which reports the same error
                 // the interpreter would.
-                ExecEngine::Compiled => match fact.table.geo_slice(*point_attr) {
-                    Ok(geo) => compiled::bin_counts(grid, geo, &qualifying, materialize),
-                    Err(_) => {
-                        binned_accum(fact.table, *point_attr, grid, &qualifying, materialize)?
-                    }
-                },
-                ExecEngine::Interpreted => {
-                    binned_accum(fact.table, *point_attr, grid, &qualifying, materialize)?
+                match fact.table.geo_slice(*point_attr) {
+                    Ok(geo) => compiled::bin_counts_iter(
+                        grid,
+                        geo,
+                        qualified.iter(),
+                        result_rows,
+                        materialize,
+                    ),
+                    Err(_) => binned_accum(
+                        fact.table,
+                        *point_attr,
+                        grid,
+                        qualified.iter(),
+                        result_rows,
+                        materialize,
+                    )?,
                 }
+            } else {
+                binned_accum(
+                    fact.table,
+                    *point_attr,
+                    grid,
+                    qualified.iter(),
+                    result_rows,
+                    materialize,
+                )?
             };
             work.output_rows += binned.distinct_bins;
             match binned.pairs {
                 Some(pairs) => QueryResult::Bins(pairs),
-                None => QueryResult::Count(qualifying.len() as u64),
+                None => QueryResult::Count(result_rows as u64),
             }
         }
         OutputKind::Count => {
             work.output_rows += 1;
-            QueryResult::Count(qualifying.len() as u64)
+            QueryResult::Count(result_rows as u64)
         }
     };
 
@@ -313,26 +463,26 @@ fn compile_residual<'a>(
     table: &'a Table,
     engine: ExecEngine,
 ) -> Option<Vec<compiled::CompiledPredicate<'a>>> {
-    match engine {
-        ExecEngine::Compiled => {
-            compiled::compile_predicates(&query.predicates, indices, table).ok()
-        }
-        ExecEngine::Interpreted => None,
+    if engine.is_compiled() {
+        compiled::compile_predicates(&query.predicates, indices, table).ok()
+    } else {
+        None
     }
 }
 
 /// Interpreter-path binning: per-row geo access with error propagation, then
-/// the shared sparse accumulation ([`compiled::sparse_bin_accum`]), so both
+/// the shared sparse accumulation ([`compiled::sparse_bin_accum`]), so all
 /// engines bin through one implementation.
 fn binned_accum(
     table: &Table,
     point_attr: usize,
     grid: &BinGrid,
-    qualifying: &[RecordId],
+    qualifying: impl Iterator<Item = RecordId>,
+    row_count: usize,
     materialize: bool,
 ) -> Result<compiled::BinnedAccum> {
-    let mut points = Vec::with_capacity(qualifying.len());
-    for &rid in qualifying {
+    let mut points = Vec::with_capacity(row_count);
+    for rid in qualifying {
         points.push(table.geo(point_attr, rid)?);
     }
     Ok(compiled::sparse_bin_accum(
@@ -403,13 +553,118 @@ fn index_candidates(
         lists.push(rids);
     }
     if lists.len() > 1 {
-        // The cost model still charges the classic merge (the *simulated* database
-        // intersects record lists entry-by-entry); the galloping intersection below
-        // only changes how fast the simulator itself computes the identical result.
-        work.intersect_entries += lists.iter().map(|l| l.len() as u64).sum::<u64>();
+        // Charge the skip/gallop model the executor actually runs — the same
+        // formula (intersect_skip_charge) the optimizer's predict_work uses,
+        // so charged intersection work always matches predicted work.
+        let lens: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+        work.intersect_entries += intersect_skip_charge(&lens);
     }
     let candidates = intersect_adaptive(&lists);
     Ok(restriction.filter(candidates))
+}
+
+/// Bitmap-engine twin of [`index_candidates`]: runs the plan's index scans as
+/// bitmap lookups, intersects with word-wise AND (smallest first, early-out on
+/// empty) and applies the sample restriction. Probe/entry/intersect accounting
+/// is identical to the id-vector path — the bitmap lookups report the same
+/// [`crate::index::ScanStats`] and the intersection charge is the same
+/// [`intersect_skip_charge`] over the same list lengths.
+fn index_candidates_bitmap(
+    query: &Query,
+    plan: &PhysicalPlan,
+    fact: &ExecTable<'_>,
+    restriction: &SampleRestriction<'_>,
+    work: &mut WorkProfile,
+) -> Result<SelectionBitmap> {
+    let mut lists: Vec<SelectionBitmap> = Vec::with_capacity(plan.index_preds.len());
+    for &pred_idx in &plan.index_preds {
+        let pred = query
+            .predicates
+            .get(pred_idx)
+            .ok_or(Error::InvalidAttribute(pred_idx))?;
+        lists.push(scan_index_bitmap(pred, fact, work)?);
+    }
+    if lists.len() > 1 {
+        let lens: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+        work.intersect_entries += intersect_skip_charge(&lens);
+    }
+    lists.sort_by_key(|l| l.len());
+    let mut iter = lists.into_iter();
+    let mut acc = iter.next().unwrap_or_default();
+    for list in iter {
+        if acc.is_empty() {
+            break;
+        }
+        acc = acc.and(&list);
+    }
+    match restriction {
+        SampleRestriction::All => {}
+        SampleRestriction::SampleRows(rows) => acc.retain(|rid| rows.binary_search(&rid).is_ok()),
+        SampleRestriction::HashFraction(frac) => {
+            acc.retain(|rid| hash_unit(rid as u64 ^ 0x5EED) < *frac)
+        }
+    }
+    Ok(acc)
+}
+
+/// Bitmap-engine twin of [`scan_index`]: same index lookups, same error and
+/// [`WorkProfile`] behaviour, bitmap output.
+fn scan_index_bitmap(
+    pred: &Predicate,
+    fact: &ExecTable<'_>,
+    work: &mut WorkProfile,
+) -> Result<SelectionBitmap> {
+    work.index_probes += 1;
+    let attr = pred.attr();
+    match pred {
+        Predicate::KeywordContains { keyword, .. } => {
+            let index = fact
+                .inverted
+                .get(&attr)
+                .ok_or_else(|| Error::IndexMissing {
+                    table: fact.table.name().to_string(),
+                    column: column_name(fact.table, attr),
+                })?;
+            match fact.table.dictionary().lookup(keyword) {
+                Some(token) => {
+                    let (bm, stats) = index.lookup_bitmap(token);
+                    work.index_entries += stats.matches as u64;
+                    Ok(bm)
+                }
+                None => Ok(SelectionBitmap::new()),
+            }
+        }
+        Predicate::TimeRange { range, .. } => {
+            let index = fact.btree.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            let (bm, stats) = index.range_scan_bitmap(range.start, range.end);
+            work.index_entries += stats.matches as u64;
+            Ok(bm)
+        }
+        Predicate::NumericRange { range, .. } => {
+            let index = fact.btree.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            let (bm, stats) = index.range_scan_bitmap(
+                BPlusTree::float_key(range.lo),
+                BPlusTree::float_key(range.hi),
+            );
+            work.index_entries += stats.matches as u64;
+            Ok(bm)
+        }
+        Predicate::SpatialRange { rect, .. } => {
+            let index = fact.rtree.get(&attr).ok_or_else(|| Error::IndexMissing {
+                table: fact.table.name().to_string(),
+                column: column_name(fact.table, attr),
+            })?;
+            let (bm, stats) = index.range_scan_bitmap(rect);
+            work.index_entries += stats.matches as u64;
+            Ok(bm)
+        }
+    }
 }
 
 /// Scans the index matching `pred` and returns the matching record ids.
@@ -854,6 +1109,43 @@ mod tests {
         assert!(idx.work.seq_rows == 0);
         assert_eq!(idx.work.index_probes, 1);
         assert_eq!(idx.work.heap_fetches, 400); // timestamps 100..=499
+    }
+
+    #[test]
+    fn engines_agree_on_multi_predicate_index_plan() {
+        let f = tweets_fixture();
+        let q = base_query();
+        let exec_t = f.exec_table();
+        // Index the time and spatial predicates; keyword stays residual.
+        let plan = plan_with(&f, &q, 0b110);
+        assert_eq!(plan.index_preds.len(), 2, "expected a multi-index plan");
+        let outs: Vec<ExecOutcome> = [
+            ExecEngine::Interpreted,
+            ExecEngine::CompiledIdVec,
+            ExecEngine::CompiledBitmap,
+        ]
+        .into_iter()
+        .map(|e| execute_with(&q, &plan, &exec_t, None, None, true, e).unwrap())
+        .collect();
+        for out in &outs[1..] {
+            assert_eq!(out.result, outs[0].result);
+            assert_eq!(out.work, outs[0].work);
+            assert_eq!(out.result_rows, outs[0].result_rows);
+        }
+        // Time matches rows 100..=499 (400), spatial matches all 1000; their
+        // intersection is heap-fetched, then the keyword residual is evaluated
+        // once per fetched row — identical leaf/heap accounting on every engine.
+        assert_eq!(outs[0].work.index_probes, 2);
+        assert_eq!(outs[0].work.index_entries, 1400);
+        assert_eq!(outs[0].work.heap_fetches, 400);
+        assert_eq!(outs[0].work.filter_evals, 400);
+        assert_eq!(outs[0].work.seq_rows, 0);
+        // The charged intersection work is exactly the skip/gallop formula over
+        // the scanned list lengths — the same number predict_work estimates.
+        assert_eq!(
+            outs[0].work.intersect_entries,
+            intersect_skip_charge(&[400, 1000])
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Plan execution over in-memory tables.
 //!
-//! Two observationally identical engines share the executor skeleton: the
-//! row-at-a-time interpreter (the semantic reference) and the compiled columnar
-//! batch engine in [`compiled`] (the default), which lowers predicates once per
-//! execution and evaluates them over record-id batches.
+//! Three observationally identical engines share the executor skeleton: the
+//! row-at-a-time interpreter (the semantic reference), the compiled columnar
+//! batch engine over id-vector selections, and the compiled bitmap engine (the
+//! default), which carries candidates as
+//! [`SelectionBitmap`](crate::bitmap::SelectionBitmap)s and refines 4096-row
+//! chunks over 64-bit words.
 
 pub mod compiled;
 mod executor;

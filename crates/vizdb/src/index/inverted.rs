@@ -1,103 +1,21 @@
 //! Inverted index over tokenised text columns.
 //!
-//! Postings are delta + varint encoded into a [`bytes::Bytes`] buffer, which is how a
-//! real text index (e.g. PostgreSQL GIN or a search engine) keeps postings compact.
-//! Keyword predicates (`Content contains "covid"`) are answered by decoding the posting
-//! list of the keyword's token.
+//! Postings are stored as bit-packed skip blocks ([`crate::index::posting`]):
+//! per-block min/max directory entries over fixed-width packed gaps, the
+//! layout a real text index (PostgreSQL GIN, a search engine) uses to keep
+//! postings compact *and* skippable. Keyword predicates
+//! (`Content contains "covid"`) are answered either as a decoded id vector
+//! ([`InvertedIndex::lookup`], the interpreter path) or as a
+//! [`SelectionBitmap`] decoded straight from the blocks
+//! ([`InvertedIndex::lookup_bitmap`], the compiled bitmap path).
 
 use std::collections::HashMap;
 
-use bytes::{BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
 
-use crate::index::{ScanStats, SecondaryIndex};
+use crate::bitmap::SelectionBitmap;
+use crate::index::{PostingList, ScanStats, SecondaryIndex};
 use crate::types::{RecordId, TokenId};
-
-/// A compressed posting list: record ids delta-encoded with LEB128 varints.
-///
-/// The vendored `bytes` crate serializes [`Bytes`] as a plain byte array, so no
-/// `serde(with = ...)` shim is needed here.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct PostingList {
-    encoded: Bytes,
-    len: usize,
-}
-
-impl PostingList {
-    /// Encodes an ascending list of record ids.
-    ///
-    /// # Panics
-    /// Panics (in debug builds) if the input is not strictly ascending.
-    pub fn encode(rids: &[RecordId]) -> Self {
-        debug_assert!(rids.windows(2).all(|w| w[0] < w[1]), "postings must ascend");
-        let mut buf = BytesMut::with_capacity(rids.len() * 2);
-        let mut prev: RecordId = 0;
-        for (i, &rid) in rids.iter().enumerate() {
-            let delta = if i == 0 { rid } else { rid - prev };
-            write_varint(&mut buf, delta);
-            prev = rid;
-        }
-        Self {
-            encoded: buf.freeze(),
-            len: rids.len(),
-        }
-    }
-
-    /// Number of record ids in the list.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// Returns `true` when the posting list has no entries.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Size of the encoded representation in bytes.
-    pub fn encoded_bytes(&self) -> usize {
-        self.encoded.len()
-    }
-
-    /// Decodes the full list of record ids (ascending order).
-    pub fn decode(&self) -> Vec<RecordId> {
-        let mut out = Vec::with_capacity(self.len);
-        let mut cursor = 0usize;
-        let mut acc: RecordId = 0;
-        let data = &self.encoded;
-        for i in 0..self.len {
-            let (delta, read) = read_varint(&data[cursor..]);
-            cursor += read;
-            acc = if i == 0 { delta } else { acc + delta };
-            out.push(acc);
-        }
-        out
-    }
-}
-
-fn write_varint(buf: &mut BytesMut, mut v: u32) {
-    loop {
-        let byte = (v & 0x7F) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.put_u8(byte);
-            break;
-        }
-        buf.put_u8(byte | 0x80);
-    }
-}
-
-fn read_varint(data: &[u8]) -> (u32, usize) {
-    let mut result: u32 = 0;
-    let mut shift = 0;
-    for (i, &byte) in data.iter().enumerate() {
-        result |= ((byte & 0x7F) as u32) << shift;
-        if byte & 0x80 == 0 {
-            return (result, i + 1);
-        }
-        shift += 7;
-    }
-    (result, data.len())
-}
 
 /// Inverted index: token id → compressed posting list.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -143,18 +61,36 @@ impl InvertedIndex {
         self.postings.get(&token).map(|p| p.len()).unwrap_or(0)
     }
 
+    /// The raw posting list of `token`, if indexed (for skip-block
+    /// intersection across tokens).
+    pub fn posting(&self, token: TokenId) -> Option<&PostingList> {
+        self.postings.get(&token)
+    }
+
     /// Record ids containing `token`, sorted ascending, plus scan statistics.
     pub fn lookup(&self, token: TokenId) -> (Vec<RecordId>, ScanStats) {
         match self.postings.get(&token) {
             Some(list) => {
-                let rids = list.decode();
-                let stats = ScanStats {
-                    nodes_visited: 1 + list.encoded_bytes() / 4096,
-                    matches: rids.len(),
-                };
-                (rids, stats)
+                let stats = Self::stats(list);
+                (list.decode(), stats)
             }
             None => (Vec::new(), ScanStats::default()),
+        }
+    }
+
+    /// [`InvertedIndex::lookup`] emitting a [`SelectionBitmap`] decoded block
+    /// by block — identical [`ScanStats`], no sorted id vector in between.
+    pub fn lookup_bitmap(&self, token: TokenId) -> (SelectionBitmap, ScanStats) {
+        match self.postings.get(&token) {
+            Some(list) => (list.to_bitmap(), Self::stats(list)),
+            None => (SelectionBitmap::new(), ScanStats::default()),
+        }
+    }
+
+    fn stats(list: &PostingList) -> ScanStats {
+        ScanStats {
+            nodes_visited: 1 + list.encoded_bytes() / 4096,
+            matches: list.len(),
         }
     }
 
@@ -179,41 +115,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn varint_round_trip() {
-        let mut buf = BytesMut::new();
-        for v in [0u32, 1, 127, 128, 300, 16_384, u32::MAX] {
-            buf.clear();
-            write_varint(&mut buf, v);
-            let (decoded, read) = read_varint(&buf);
-            assert_eq!(decoded, v);
-            assert_eq!(read, buf.len());
-        }
-    }
-
-    #[test]
-    fn posting_list_round_trip() {
-        let rids: Vec<RecordId> = vec![0, 3, 4, 100, 10_000, 10_001];
-        let list = PostingList::encode(&rids);
-        assert_eq!(list.len(), 6);
-        assert_eq!(list.decode(), rids);
-    }
-
-    #[test]
-    fn posting_list_compression_is_effective() {
-        // Dense consecutive ids: each delta fits in one byte.
-        let rids: Vec<RecordId> = (1000..2000).collect();
-        let list = PostingList::encode(&rids);
-        assert!(list.encoded_bytes() < 1100, "got {}", list.encoded_bytes());
-    }
-
-    #[test]
-    fn empty_posting_list() {
-        let list = PostingList::encode(&[]);
-        assert!(list.is_empty());
-        assert!(list.decode().is_empty());
-    }
-
-    #[test]
     fn index_lookup_and_count() {
         let docs = vec![vec![1u32, 2, 3], vec![2, 3], vec![3], vec![], vec![1, 3]];
         let idx = InvertedIndex::build(&docs);
@@ -229,6 +130,22 @@ mod tests {
     }
 
     #[test]
+    fn bitmap_lookup_matches_vector_lookup() {
+        let docs: Vec<Vec<TokenId>> = (0..9000)
+            .map(|i| if i % 3 == 0 { vec![7] } else { vec![8] })
+            .collect();
+        let idx = InvertedIndex::build(&docs);
+        let (rids, stats) = idx.lookup(7);
+        let (bm, bm_stats) = idx.lookup_bitmap(7);
+        assert_eq!(bm.to_vec(), rids);
+        assert_eq!(bm.len(), stats.matches);
+        assert_eq!(bm_stats, stats);
+        let (empty, empty_stats) = idx.lookup_bitmap(99);
+        assert!(empty.is_empty());
+        assert_eq!(empty_stats, ScanStats::default());
+    }
+
+    #[test]
     fn memory_accounting_nonzero() {
         let docs = vec![vec![0u32; 1]; 100];
         let idx = InvertedIndex::build(&docs);
@@ -240,13 +157,6 @@ mod tests {
         use proptest::prelude::*;
 
         proptest! {
-            #[test]
-            fn posting_round_trip_any_ascending(ids in proptest::collection::btree_set(0u32..1_000_000, 0..500)) {
-                let rids: Vec<RecordId> = ids.into_iter().collect();
-                let list = PostingList::encode(&rids);
-                prop_assert_eq!(list.decode(), rids);
-            }
-
             #[test]
             fn lookup_matches_bruteforce(
                 docs in proptest::collection::vec(proptest::collection::btree_set(0u32..20, 0..6), 0..100),
@@ -262,6 +172,7 @@ mod tests {
                     .map(|(i, _)| i as RecordId)
                     .collect();
                 prop_assert_eq!(idx.lookup(token).0, expected.clone());
+                prop_assert_eq!(idx.lookup_bitmap(token).0.to_vec(), expected.clone());
                 prop_assert_eq!(idx.count(token), expected.len());
             }
         }

@@ -4,10 +4,12 @@
 
 mod btree;
 mod inverted;
+pub mod posting;
 mod rtree;
 
 pub use btree::BPlusTree;
-pub use inverted::{InvertedIndex, PostingList};
+pub use inverted::InvertedIndex;
+pub use posting::PostingList;
 pub use rtree::RTree;
 
 use crate::types::RecordId;
@@ -129,6 +131,48 @@ fn gallop_to(large: &[RecordId], from: usize, v: RecordId) -> usize {
     prev + 1 + large[prev + 1..hi].partition_point(|&x| x < v)
 }
 
+/// Work charged for intersecting id lists of the given lengths under the
+/// skip/gallop model the executor actually runs: the smallest list `s` drives,
+/// and every other list of length `n` costs `s · (1 + ⌊log2(n/s + 1)⌋)` —
+/// one block decode plus a logarithmic skip probe per driving entry. This is
+/// the *single* formula both the executor (actual charge) and the optimizer's
+/// [`predict_work`](crate::optimizer) (estimate, via
+/// [`intersect_skip_charge_est`]) use, so charged work always matches
+/// predicted work. The classic k-way merge (`Σ nᵢ`) it replaces over-charged
+/// exactly the regime index hints steer into: one selective list against a
+/// huge range scan.
+pub fn intersect_skip_charge(lens: &[usize]) -> u64 {
+    if lens.len() < 2 {
+        return 0;
+    }
+    let s = lens.iter().copied().min().unwrap_or(0);
+    if s == 0 {
+        return 0;
+    }
+    let mut charge = 0u64;
+    let mut skipped_min = false;
+    for &n in lens {
+        if !skipped_min && n == s {
+            skipped_min = true;
+            continue;
+        }
+        let ratio = (n / s) as u64 + 1;
+        charge += s as u64 * (1 + ratio.ilog2() as u64);
+    }
+    charge
+}
+
+/// Estimator-side twin of [`intersect_skip_charge`] over fractional expected
+/// list lengths. Truncating both to the same integer model keeps the planner's
+/// predicted `intersect_entries` consistent with what execution will charge.
+pub fn intersect_skip_charge_est(lens: &[f64]) -> f64 {
+    if lens.len() < 2 {
+        return 0.0;
+    }
+    let ints: Vec<usize> = lens.iter().map(|&l| l.max(0.0) as usize).collect();
+    intersect_skip_charge(&ints) as f64
+}
+
 fn intersect_two(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0usize, 0usize);
@@ -224,6 +268,31 @@ mod tests {
                 prop_assert_eq!(intersect_adaptive(&lists), intersect_sorted(&lists));
             }
         }
+    }
+
+    #[test]
+    fn skip_charge_models_gallop_not_merge() {
+        // Fewer than two lists, or an empty list, charge nothing.
+        assert_eq!(intersect_skip_charge(&[]), 0);
+        assert_eq!(intersect_skip_charge(&[1000]), 0);
+        assert_eq!(intersect_skip_charge(&[0, 1000]), 0);
+        // Equal lists: s·(1 + log2(2)) = 2s per non-driving list.
+        assert_eq!(intersect_skip_charge(&[100, 100]), 200);
+        // One selective list against a huge scan is charged logarithmically in
+        // the ratio — far below the classic merge's Σ nᵢ.
+        let skewed = intersect_skip_charge(&[100, 100_000]);
+        assert_eq!(skewed, 100 * (1 + (1001u64).ilog2() as u64));
+        assert!(skewed < 100_100, "skip charge must undercut the merge");
+        // Three-way: both non-driving lists are charged.
+        assert_eq!(
+            intersect_skip_charge(&[50, 200, 800]),
+            50 * (1 + 5u64.ilog2() as u64) + 50 * (1 + 17u64.ilog2() as u64)
+        );
+        // The estimator truncates to the same integer model.
+        assert_eq!(
+            intersect_skip_charge_est(&[100.9, 100_000.2]),
+            intersect_skip_charge(&[100, 100_000]) as f64
+        );
     }
 
     #[test]

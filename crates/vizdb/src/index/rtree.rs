@@ -6,6 +6,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitmap::{BitmapBuilder, SelectionBitmap};
 use crate::index::{ScanStats, SecondaryIndex};
 use crate::types::{GeoPoint, GeoRect, RecordId};
 
@@ -171,6 +172,77 @@ impl RTree {
         }
     }
 
+    /// [`RTree::range_scan`] emitting a [`SelectionBitmap`]: identical
+    /// traversal and [`ScanStats`], but matches are set as bits as they stream
+    /// out in *space* order instead of being collected and sorted into id
+    /// order afterwards.
+    pub fn range_scan_bitmap(&self, rect: &GeoRect) -> (SelectionBitmap, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut builder = BitmapBuilder::new();
+        let mut matches = 0usize;
+        if let Some(root) = &self.root {
+            Self::scan_node_bitmap(root, rect, &mut builder, &mut matches, &mut stats);
+        }
+        stats.matches = matches;
+        (builder.finish(), stats)
+    }
+
+    fn scan_node_bitmap(
+        node: &Node,
+        rect: &GeoRect,
+        builder: &mut BitmapBuilder,
+        matches: &mut usize,
+        stats: &mut ScanStats,
+    ) {
+        if !node.mbr.intersects(rect) {
+            return;
+        }
+        stats.nodes_visited += 1;
+        match &node.kind {
+            NodeKind::Leaf { points, rids } => {
+                if rect.contains_rect(&node.mbr) {
+                    for &rid in rids {
+                        builder.insert(rid);
+                    }
+                    *matches += rids.len();
+                } else {
+                    for (p, rid) in points.iter().zip(rids.iter()) {
+                        if rect.contains(p) {
+                            builder.insert(*rid);
+                            *matches += 1;
+                        }
+                    }
+                }
+            }
+            NodeKind::Internal { children } => {
+                for child in children {
+                    if rect.contains_rect(&child.mbr) {
+                        stats.nodes_visited += 1;
+                        Self::collect_all_bitmap(child, builder, matches);
+                    } else {
+                        Self::scan_node_bitmap(child, rect, builder, matches, stats);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_all_bitmap(node: &Node, builder: &mut BitmapBuilder, matches: &mut usize) {
+        match &node.kind {
+            NodeKind::Leaf { rids, .. } => {
+                for &rid in rids {
+                    builder.insert(rid);
+                }
+                *matches += rids.len();
+            }
+            NodeKind::Internal { children } => {
+                for child in children {
+                    Self::collect_all_bitmap(child, builder, matches);
+                }
+            }
+        }
+    }
+
     fn collect_all(node: &Node, out: &mut Vec<RecordId>) {
         match &node.kind {
             NodeKind::Leaf { rids, .. } => out.extend_from_slice(rids),
@@ -316,12 +388,50 @@ mod tests {
         assert_eq!(stats.matches, 36);
     }
 
+    #[test]
+    fn bitmap_scan_matches_vector_scan() {
+        let t = grid_tree(30);
+        for (a, b, c, d) in [
+            (0.5, 0.5, 3.5, 3.5),
+            (-2.0, -2.0, 40.0, 40.0),
+            (100.0, 100.0, 110.0, 110.0),
+            (5.0, 5.0, 25.0, 6.0),
+        ] {
+            let rect = GeoRect::new(a, b, c, d);
+            let (rids, stats) = t.range_scan(&rect);
+            let (bm, bm_stats) = t.range_scan_bitmap(&rect);
+            assert_eq!(bm.to_vec(), rids);
+            assert_eq!(bm_stats, stats);
+        }
+    }
+
     mod proptests {
         use super::*;
         use proptest::prelude::*;
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn bitmap_scan_equals_vector_scan(
+                pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..300),
+                qx in -60.0f64..60.0,
+                qy in -60.0f64..60.0,
+                w in 0.0f64..40.0,
+                h in 0.0f64..40.0,
+            ) {
+                let entries: Vec<(GeoPoint, RecordId)> = pts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(x, y))| (GeoPoint::new(x, y), i as RecordId))
+                    .collect();
+                let tree = RTree::build(entries);
+                let rect = GeoRect::new(qx, qy, qx + w, qy + h);
+                let (rids, stats) = tree.range_scan(&rect);
+                let (bm, bm_stats) = tree.range_scan_bitmap(&rect);
+                prop_assert_eq!(bm.to_vec(), rids);
+                prop_assert_eq!(bm_stats, stats);
+            }
+
             #[test]
             fn count_matches_bruteforce(
                 pts in proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..300),

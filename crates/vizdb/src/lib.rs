@@ -45,6 +45,7 @@
 
 pub mod approx;
 pub mod backend;
+pub mod bitmap;
 pub mod cache;
 pub mod db;
 pub mod error;

@@ -75,13 +75,18 @@ pub fn predict_work(shape: &PlanShape<'_>) -> WorkProfile {
     } else {
         // Index scans + record-id intersection + heap fetch + residual filtering.
         work.index_probes = shape.index_preds.len() as u64;
-        let mut total_entries = 0.0;
-        for &i in shape.index_preds {
-            total_entries += eff_rows * sel(i);
-        }
+        let lens: Vec<f64> = shape
+            .index_preds
+            .iter()
+            .map(|&i| eff_rows * sel(i))
+            .collect();
+        let total_entries: f64 = lens.iter().sum();
         work.index_entries = total_entries as u64;
         if shape.index_preds.len() > 1 {
-            work.intersect_entries = total_entries as u64;
+            // The executor charges the skip/gallop intersection model, not the
+            // classic k-way merge — estimate with the same formula so predicted
+            // and charged intersection work agree (see intersect_skip_charge).
+            work.intersect_entries = crate::index::intersect_skip_charge_est(&lens) as u64;
         }
         let candidates = eff_rows
             * index_product
@@ -235,12 +240,19 @@ mod tests {
     }
 
     #[test]
-    fn multi_index_intersection_counts_all_entries() {
+    fn multi_index_intersection_charges_skip_model() {
         let q = query();
         let sels = [0.02, 0.003, 0.05];
         let work = predict_work(&shape(&q, &[0, 1, 2], &[], &sels));
         assert_eq!(work.index_probes, 3);
-        assert!(work.intersect_entries > 0);
+        // Expected list lengths are 4000, 600 and 10000 entries; the predicted
+        // charge is the same skip/gallop formula the executor applies.
+        assert_eq!(
+            work.intersect_entries,
+            crate::index::intersect_skip_charge(&[4000, 600, 10_000])
+        );
+        // ...which undercuts the classic merge's Σ nᵢ.
+        assert!(work.intersect_entries < work.index_entries);
         // Candidates after intersecting all three lists are few.
         assert!(work.heap_fetches < 10);
     }

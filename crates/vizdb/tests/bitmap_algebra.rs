@@ -1,0 +1,148 @@
+//! Property tests: `SelectionBitmap` algebra against a sorted-`Vec<RecordId>`
+//! reference model. The generated id sets are biased towards the shapes that
+//! stress container transitions — empty and full chunks, run-heavy spans, and
+//! ids hugging 4096-aligned chunk boundaries — so array/bitset/run
+//! canonicalisation is exercised from every side.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use vizdb::bitmap::{BitmapBuilder, SelectionBitmap, CHUNK_BITS};
+use vizdb::types::RecordId;
+
+const ID_SPAN: u32 = 6 * CHUNK_BITS as u32;
+
+/// Assembles an id set from sparse ids, dense runs and chunk-boundary probes.
+fn assemble(
+    sparse: BTreeSet<RecordId>,
+    runs: &[(u32, u32)],
+    boundaries: &[(u32, i64)],
+) -> BTreeSet<RecordId> {
+    let mut set = sparse;
+    for &(start, len) in runs {
+        let end = start.saturating_add(len).min(ID_SPAN);
+        set.extend(start..end);
+    }
+    for &(chunk, delta) in boundaries {
+        let id = (chunk as i64 * CHUNK_BITS as i64) + delta;
+        if (0..ID_SPAN as i64).contains(&id) {
+            set.insert(id as u32);
+        }
+    }
+    set
+}
+
+fn to_vec(set: &BTreeSet<RecordId>) -> Vec<RecordId> {
+    set.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_iter_rank_select_contains(
+        sparse in proptest::collection::btree_set(0u32..ID_SPAN, 0..80),
+        runs in proptest::collection::vec((0u32..ID_SPAN, 1u32..700), 0..4),
+        boundaries in proptest::collection::vec((1u32..6, -1i64..2), 0..6),
+        probe in 0u32..ID_SPAN,
+    ) {
+        let set = assemble(sparse, &runs, &boundaries);
+        let ids = to_vec(&set);
+        let bm = SelectionBitmap::from_sorted(&ids);
+        prop_assert_eq!(bm.len(), ids.len());
+        prop_assert_eq!(bm.is_empty(), ids.is_empty());
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), ids.clone());
+        prop_assert_eq!(bm.to_vec(), ids.clone());
+        // rank(probe) = #ids strictly below probe; contains matches the set.
+        prop_assert_eq!(bm.rank(probe), ids.partition_point(|&id| id < probe));
+        prop_assert_eq!(bm.contains(probe), set.contains(&probe));
+        // select(k) is the k-th smallest id; select/rank are inverses.
+        for (k, &id) in ids.iter().enumerate() {
+            prop_assert_eq!(bm.select(k), Some(id));
+            prop_assert_eq!(bm.rank(id), k);
+        }
+        prop_assert_eq!(bm.select(ids.len()), None);
+    }
+
+    #[test]
+    fn builder_matches_from_sorted(
+        sparse in proptest::collection::btree_set(0u32..ID_SPAN, 0..80),
+        runs in proptest::collection::vec((0u32..ID_SPAN, 1u32..700), 0..4),
+        boundaries in proptest::collection::vec((1u32..6, -1i64..2), 0..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let ids = to_vec(&assemble(sparse, &runs, &boundaries));
+        // Insert in a scrambled order (and with duplicates) — the builder must
+        // canonicalise to the same bitmap.
+        let mut scrambled = ids.clone();
+        let mut state = seed | 1;
+        for i in (1..scrambled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            scrambled.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut builder = BitmapBuilder::new();
+        for &id in &scrambled {
+            builder.insert(id);
+        }
+        for &id in scrambled.iter().take(5) {
+            builder.insert(id); // duplicates collapse
+        }
+        prop_assert_eq!(builder.finish(), SelectionBitmap::from_sorted(&ids));
+    }
+
+    #[test]
+    fn and_or_andnot_match_set_semantics(
+        sparse_a in proptest::collection::btree_set(0u32..ID_SPAN, 0..80),
+        runs_a in proptest::collection::vec((0u32..ID_SPAN, 1u32..700), 0..4),
+        bounds_a in proptest::collection::vec((1u32..6, -1i64..2), 0..6),
+        sparse_b in proptest::collection::btree_set(0u32..ID_SPAN, 0..80),
+        runs_b in proptest::collection::vec((0u32..ID_SPAN, 1u32..700), 0..4),
+        bounds_b in proptest::collection::vec((1u32..6, -1i64..2), 0..6),
+    ) {
+        let a = assemble(sparse_a, &runs_a, &bounds_a);
+        let b = assemble(sparse_b, &runs_b, &bounds_b);
+        let bma = SelectionBitmap::from_sorted(&to_vec(&a));
+        let bmb = SelectionBitmap::from_sorted(&to_vec(&b));
+        let and: Vec<RecordId> = a.intersection(&b).copied().collect();
+        let or: Vec<RecordId> = a.union(&b).copied().collect();
+        let andnot: Vec<RecordId> = a.difference(&b).copied().collect();
+        prop_assert_eq!(bma.and(&bmb).to_vec(), and.clone());
+        prop_assert_eq!(bmb.and(&bma).to_vec(), and.clone());
+        prop_assert_eq!(bma.or(&bmb).to_vec(), or.clone());
+        prop_assert_eq!(bmb.or(&bma).to_vec(), or);
+        prop_assert_eq!(bma.andnot(&bmb).to_vec(), andnot);
+        // Canonical representation: equal sets compare equal as bitmaps no
+        // matter how they were computed (a ∧ b == a \ (b \ a) as sets... no —
+        // a ∧ b == a \ (a \ b)).
+        prop_assert_eq!(bma.and(&bmb), bma.andnot(&bma.andnot(&bmb)));
+        prop_assert_eq!(bma.and(&bmb), SelectionBitmap::from_sorted(&and));
+    }
+
+    #[test]
+    fn retain_matches_vec_retain(
+        sparse in proptest::collection::btree_set(0u32..ID_SPAN, 0..80),
+        runs in proptest::collection::vec((0u32..ID_SPAN, 1u32..700), 0..4),
+        boundaries in proptest::collection::vec((1u32..6, -1i64..2), 0..6),
+        modulus in 2u32..7,
+    ) {
+        let mut ids = to_vec(&assemble(sparse, &runs, &boundaries));
+        let mut bm = SelectionBitmap::from_sorted(&ids);
+        ids.retain(|id| id % modulus != 0);
+        bm.retain(|id| id % modulus != 0);
+        prop_assert_eq!(bm.to_vec(), ids.clone());
+        // Re-canonicalised: equal to a fresh build of the same set.
+        prop_assert_eq!(bm, SelectionBitmap::from_sorted(&ids));
+    }
+
+    #[test]
+    fn full_prefix_is_dense(n in 0usize..(2 * CHUNK_BITS + 77)) {
+        let bm = SelectionBitmap::full(n);
+        prop_assert_eq!(bm.len(), n);
+        prop_assert_eq!(bm.to_vec(), (0..n as RecordId).collect::<Vec<_>>());
+        if n > 0 {
+            prop_assert!(bm.contains(n as RecordId - 1));
+        }
+        prop_assert!(!bm.contains(n as RecordId));
+    }
+}

@@ -1,10 +1,11 @@
-//! Property test: the compiled columnar batch engine is observationally
-//! identical to the row-at-a-time interpreter. For random tables, predicates,
-//! hint-forced plans, approximation rules, grids and limits, both engines must
-//! produce the same `QueryResult` bytes, the same `WorkProfile` (and therefore
-//! the same simulated execution time) and the same plan. This pins the core
-//! invariant of the execution-engine rewrite: compilation is a speed-up, never
-//! a semantic change.
+//! Property test: the compiled engines (id-vector batches and bitmap chunks)
+//! are observationally identical to the row-at-a-time interpreter. For random
+//! tables, predicates, hint-forced plans, approximation rules, grids and
+//! limits, all three engines must produce the same `QueryResult` bytes, the
+//! same `WorkProfile` (and therefore the same simulated execution time) and
+//! the same plan. This pins the core invariant of the execution-engine
+//! rewrites: compilation and bitmap selections are speed-ups, never a semantic
+//! change.
 
 use proptest::prelude::*;
 
@@ -46,26 +47,40 @@ fn build_db(points: &[(f64, f64)], keyword_every: usize) -> Database {
     db
 }
 
-/// Runs `query` under `ro` through both engines and asserts full observational
-/// equality.
+/// Runs `query` under `ro` through all three engines and asserts full
+/// observational equality against the interpreter reference.
 fn assert_engines_agree(db: &Database, query: &Query, ro: &RewriteOption) {
     let interpreted = db.run_with_engine(query, ro, ExecEngine::Interpreted);
-    // Drop the time cache so the compiled run computes its own time rather
-    // than reporting the interpreter's canonical cached value — the time
-    // assertion below must be able to fail.
-    db.clear_caches();
-    let compiled = db.run_with_engine(query, ro, ExecEngine::Compiled);
-    match (interpreted, compiled) {
-        (Ok(a), Ok(b)) => {
-            assert_eq!(a.result, b.result, "results diverged for {query:?}");
-            assert_eq!(a.work, b.work, "work profiles diverged for {query:?}");
-            assert_eq!(a.time_ms, b.time_ms, "times diverged for {query:?}");
-            assert_eq!(a.plan, b.plan, "plans diverged for {query:?}");
+    for engine in [ExecEngine::CompiledIdVec, ExecEngine::CompiledBitmap] {
+        // Drop the time cache so each compiled run computes its own time
+        // rather than reporting the interpreter's canonical cached value — the
+        // time assertion below must be able to fail.
+        db.clear_caches();
+        let compiled = db.run_with_engine(query, ro, engine);
+        match (&interpreted, compiled) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.result, b.result,
+                    "{engine:?} result diverged for {query:?}"
+                );
+                assert_eq!(a.work, b.work, "{engine:?} work diverged for {query:?}");
+                assert_eq!(
+                    a.time_ms, b.time_ms,
+                    "{engine:?} time diverged for {query:?}"
+                );
+                assert_eq!(a.plan, b.plan, "{engine:?} plan diverged for {query:?}");
+            }
+            (Err(a), Err(b)) => {
+                assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "{engine:?} error diverged"
+                );
+            }
+            (a, b) => {
+                panic!("one engine failed where the other succeeded: {a:?} vs {b:?} ({engine:?})")
+            }
         }
-        (Err(a), Err(b)) => {
-            assert_eq!(format!("{a:?}"), format!("{b:?}"), "errors diverged");
-        }
-        (a, b) => panic!("one engine failed where the other succeeded: {a:?} vs {b:?}"),
     }
 }
 

@@ -211,6 +211,8 @@ fn is_hot_path(path: &str) -> bool {
         || matches!(
             path,
             "crates/vizdb/src/sharded.rs"
+                | "crates/vizdb/src/bitmap.rs"
+                | "crates/vizdb/src/index/posting.rs"
                 | "crates/core/src/online.rs"
                 | "crates/serve/src/server.rs"
         )
