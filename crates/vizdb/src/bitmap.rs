@@ -574,6 +574,50 @@ impl SelectionBitmap {
             f(*cid, &mut words);
         }
     }
+
+    /// Number of non-empty chunks — the unit the parallel executor partitions
+    /// bitmap-candidate work by.
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// [`Self::for_each_chunk`] restricted to the chunk *positions* `pos` (a
+    /// subrange of `0..chunk_count()`): one parallel morsel's view of the set.
+    pub(crate) fn for_each_chunk_in(
+        &self,
+        pos: std::ops::Range<usize>,
+        mut f: impl FnMut(u32, &mut [u64; CHUNK_WORDS]),
+    ) {
+        for (cid, c) in &self.chunks[pos] {
+            let mut words = [0u64; CHUNK_WORDS];
+            c.write_words(&mut words);
+            f(*cid, &mut words);
+        }
+    }
+
+    /// Ascending iterator over the ids held by the chunk positions `pos`.
+    pub(crate) fn iter_chunks(&self, pos: std::ops::Range<usize>) -> BitmapIter<'_> {
+        BitmapIter {
+            chunks: self.chunks[pos].iter(),
+            cur: None,
+        }
+    }
+
+    /// Appends `other`, whose chunk ids must all be strictly greater than
+    /// `self`'s last. This is the deterministic morsel-merge step: morsels
+    /// cover disjoint ascending chunk ranges, so partial bitmaps concatenate
+    /// in O(chunks) without re-canonicalising a single container.
+    pub(crate) fn append_disjoint(&mut self, other: SelectionBitmap) {
+        debug_assert!(
+            match (self.chunks.last(), other.chunks.first()) {
+                (Some(&(a, _)), Some(&(b, _))) => a < b,
+                _ => true,
+            },
+            "append_disjoint: overlapping or out-of-order chunk ranges"
+        );
+        self.len += other.len;
+        self.chunks.extend(other.chunks);
+    }
 }
 
 impl<'a> IntoIterator for &'a SelectionBitmap {
@@ -702,6 +746,16 @@ impl ChunkWriter {
     /// An empty writer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty writer with room for `chunks` chunks up front (the executor
+    /// pre-sizes from the planner's row estimate instead of re-growing the
+    /// chunk vector from zero on every selection).
+    pub fn with_capacity(chunks: usize) -> Self {
+        Self {
+            chunks: Vec::with_capacity(chunks),
+            len: 0,
+        }
     }
 
     /// Adds one chunk's words (all-zero chunks are skipped).

@@ -34,6 +34,12 @@ pub struct DbConfig {
     pub seed: u64,
     /// Millisecond cost constants of the execution engine.
     pub cost_params: CostParams,
+    /// Worker threads for the morsel-driven parallel bitmap engine. `1` (the
+    /// default) runs the sequential [`ExecEngine::CompiledBitmap`]; higher
+    /// counts run [`ExecEngine::ParallelBitmap`], whose results, work profile
+    /// and simulated time are byte-identical at every thread count (only
+    /// wall-clock changes). The calling thread participates as a worker.
+    pub exec_threads: usize,
 }
 
 impl Default for DbConfig {
@@ -43,6 +49,7 @@ impl Default for DbConfig {
             hint_adherence: 1.0,
             seed: 42,
             cost_params: CostParams::default(),
+            exec_threads: 1,
         }
     }
 }
@@ -457,10 +464,23 @@ impl Database {
         Ok((sel, scanned))
     }
 
+    /// The engine selected by this instance's configuration: the sequential
+    /// default, or [`ExecEngine::ParallelBitmap`] when
+    /// [`DbConfig::exec_threads`] asks for more than one worker.
+    fn default_engine(&self) -> ExecEngine {
+        if self.config.exec_threads > 1 {
+            ExecEngine::ParallelBitmap {
+                threads: self.config.exec_threads,
+            }
+        } else {
+            ExecEngine::default()
+        }
+    }
+
     /// Runs the rewritten query and returns its materialised result, plan, operation
     /// counts and simulated execution time.
     pub fn run(&self, query: &Query, ro: &RewriteOption) -> Result<RunOutcome> {
-        self.run_inner(query, ro, true, ExecEngine::default())
+        self.run_inner(query, ro, true, self.default_engine())
     }
 
     /// [`Database::run`] with an explicit execution engine — the interpreter,
@@ -489,7 +509,7 @@ impl Database {
         // the returned outcome carries the canonical time), so no second insert —
         // and no second key hash — is needed here.
         Ok(self
-            .run_inner(query, ro, false, ExecEngine::default())?
+            .run_inner(query, ro, false, self.default_engine())?
             .time_ms)
     }
 

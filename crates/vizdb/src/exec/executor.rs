@@ -9,9 +9,10 @@
 use std::collections::HashMap;
 
 use crate::approx::ApproxRule;
-use crate::bitmap::SelectionBitmap;
+use crate::bitmap::{SelectionBitmap, CHUNK_BITS};
 use crate::error::{Error, Result};
 use crate::exec::compiled::{self, ExecEngine};
+use crate::exec::parallel;
 use crate::exec::result::QueryResult;
 use crate::hints::JoinMethod;
 use crate::index::{intersect_adaptive, intersect_skip_charge, BPlusTree, InvertedIndex, RTree};
@@ -19,7 +20,7 @@ use crate::plan::PhysicalPlan;
 use crate::query::{BinGrid, OutputKind, Predicate, Query};
 use crate::storage::{SampleTable, Table};
 use crate::timing::{hash_unit, WorkProfile};
-use crate::types::{RecordId, TokenId};
+use crate::types::{GeoPoint, RecordId, TokenId};
 
 /// Borrowed view over everything the executor needs for one table.
 #[derive(Clone, Copy)]
@@ -134,6 +135,16 @@ pub fn execute_with(
 ) -> Result<ExecOutcome> {
     let mut work = WorkProfile::default();
 
+    // Normalise the parallel engine: `ParallelBitmap` *is* the compiled bitmap
+    // engine plus a worker count. Every engine decision below keys off
+    // `engine == CompiledBitmap`; the morsel-parallel branches additionally key
+    // off `par_threads > 1` and are byte-identical to the sequential ones by
+    // the `exec::parallel` determinism contract.
+    let (engine, par_threads) = match engine {
+        ExecEngine::ParallelBitmap { threads } => (ExecEngine::CompiledBitmap, threads.max(1)),
+        other => (other, 1),
+    };
+
     // Resolve the row restriction induced by sampling approximation rules.
     let restriction = SampleRestriction::resolve(plan, fact)?;
 
@@ -218,22 +229,50 @@ pub fn execute_with(
             match residual {
                 // Uncapped: refine the candidate bitmap chunk-by-chunk; every
                 // candidate is heap-fetched, charged per chunk popcount.
-                Some(preds) if limit_rows.is_none() => Qualified::Bitmap(compiled::qualify_bitmap(
-                    &preds,
-                    &cands,
-                    &mut work,
-                    |w, rows| w.heap_fetches += rows,
-                )),
+                Some(preds) if limit_rows.is_none() => {
+                    Qualified::Bitmap(if par_threads > 1 {
+                        parallel::qualify_bitmap_par(
+                            &preds,
+                            &cands,
+                            par_threads,
+                            &mut work,
+                            |w, rows| w.heap_fetches += rows,
+                        )
+                    } else {
+                        // Output chunks cannot exceed the candidate chunks or
+                        // (one row per chunk at worst) the estimated rows.
+                        let chunk_hint = cands.chunk_count().min(reserve.max(1));
+                        compiled::qualify_bitmap(
+                            &preds,
+                            &cands,
+                            chunk_hint,
+                            &mut work,
+                            |w, rows| w.heap_fetches += rows,
+                        )
+                    })
+                }
                 // Capped: row-at-a-time over the bitmap iterator so rows past
                 // the cap stay untouched, exactly like the interpreter.
                 Some(preds) => {
                     let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
-                    for rid in cands.iter() {
-                        work.heap_fetches += 1;
-                        if compiled::eval_row(&preds, rid, &mut work) {
-                            qualifying.push(rid);
-                            if qualifying.len() >= cap {
-                                break;
+                    if par_threads > 1 {
+                        parallel::qualify_capped_bitmap_par(
+                            &preds,
+                            &cands,
+                            cap,
+                            |w| w.heap_fetches += 1,
+                            par_threads,
+                            &mut work,
+                            &mut qualifying,
+                        );
+                    } else {
+                        for rid in cands.iter() {
+                            work.heap_fetches += 1;
+                            if compiled::eval_row(&preds, rid, &mut work) {
+                                qualifying.push(rid);
+                                if qualifying.len() >= cap {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -293,12 +332,24 @@ pub fn execute_with(
                     let seq = |w: &mut WorkProfile, rows: u64| w.seq_rows += rows;
                     match &restriction {
                         SampleRestriction::All if engine == ExecEngine::CompiledBitmap => {
-                            Qualified::Bitmap(compiled::qualify_range_bitmap(
-                                &preds,
-                                0..row_count,
-                                &mut work,
-                                seq,
-                            ))
+                            Qualified::Bitmap(if par_threads > 1 {
+                                parallel::qualify_range_bitmap_par(
+                                    &preds,
+                                    0..row_count,
+                                    par_threads,
+                                    &mut work,
+                                    seq,
+                                )
+                            } else {
+                                let chunks = (row_count as usize).div_ceil(CHUNK_BITS);
+                                compiled::qualify_range_bitmap(
+                                    &preds,
+                                    0..row_count,
+                                    chunks.min(reserve.max(1)),
+                                    &mut work,
+                                    seq,
+                                )
+                            })
                         }
                         SampleRestriction::All => {
                             let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
@@ -313,30 +364,101 @@ pub fn execute_with(
                         }
                         SampleRestriction::SampleRows(rows) => {
                             let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
-                            compiled::qualify_slice(&preds, rows, &mut qualifying, &mut work, seq);
+                            if par_threads > 1 {
+                                parallel::qualify_slice_par(
+                                    &preds,
+                                    rows,
+                                    par_threads,
+                                    &mut qualifying,
+                                    &mut work,
+                                    seq,
+                                );
+                            } else {
+                                compiled::qualify_slice(
+                                    &preds,
+                                    rows,
+                                    &mut qualifying,
+                                    &mut work,
+                                    seq,
+                                );
+                            }
                             Qualified::Ids(qualifying)
                         }
                         SampleRestriction::HashFraction(_) => {
                             let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
-                            compiled::qualify_batches(
-                                &preds,
-                                boxed_iter(),
-                                &mut qualifying,
-                                &mut work,
-                                seq,
-                            );
+                            if par_threads > 1 {
+                                // Materialising the filtered stream is uncharged
+                                // on both engines, and slice morsels batch ids in
+                                // the same 1024-row groups as the stream entry
+                                // point — identical charges by construction.
+                                let ids: Vec<RecordId> = boxed_iter().collect();
+                                parallel::qualify_slice_par(
+                                    &preds,
+                                    &ids,
+                                    par_threads,
+                                    &mut qualifying,
+                                    &mut work,
+                                    seq,
+                                );
+                            } else {
+                                compiled::qualify_batches(
+                                    &preds,
+                                    boxed_iter(),
+                                    &mut qualifying,
+                                    &mut work,
+                                    seq,
+                                );
+                            }
                             Qualified::Ids(qualifying)
                         }
                     }
                 }
                 Some(preds) => {
                     let mut qualifying: Vec<RecordId> = Vec::with_capacity(reserve);
-                    for rid in boxed_iter() {
-                        work.seq_rows += 1;
-                        if compiled::eval_row(&preds, rid, &mut work) {
-                            qualifying.push(rid);
-                            if qualifying.len() >= cap {
-                                break;
+                    if par_threads > 1 {
+                        let charge: fn(&mut WorkProfile) = |w| w.seq_rows += 1;
+                        match &restriction {
+                            SampleRestriction::All => parallel::qualify_capped_range_par(
+                                &preds,
+                                0..row_count,
+                                cap,
+                                charge,
+                                par_threads,
+                                &mut work,
+                                &mut qualifying,
+                            ),
+                            SampleRestriction::SampleRows(rows) => {
+                                parallel::qualify_capped_slice_par(
+                                    &preds,
+                                    rows,
+                                    cap,
+                                    charge,
+                                    par_threads,
+                                    &mut work,
+                                    &mut qualifying,
+                                )
+                            }
+                            SampleRestriction::HashFraction(_) => {
+                                let ids: Vec<RecordId> = boxed_iter().collect();
+                                parallel::qualify_capped_slice_par(
+                                    &preds,
+                                    &ids,
+                                    cap,
+                                    charge,
+                                    par_threads,
+                                    &mut work,
+                                    &mut qualifying,
+                                )
+                            }
+                        }
+                    } else {
+                        for rid in boxed_iter() {
+                            work.seq_rows += 1;
+                            if compiled::eval_row(&preds, rid, &mut work) {
+                                qualifying.push(rid);
+                                if qualifying.len() >= cap {
+                                    break;
+                                }
                             }
                         }
                     }
@@ -376,6 +498,7 @@ pub fn execute_with(
             &fact_rows,
             fact,
             dim,
+            engine,
             &mut work,
         )?);
     }
@@ -391,12 +514,40 @@ pub fn execute_with(
         } => {
             work.output_rows += result_rows as u64;
             if materialize {
-                let mut points = Vec::with_capacity(result_rows);
-                for rid in qualified.iter() {
-                    let id = fact.table.int(*id_attr, rid).unwrap_or(rid as i64);
-                    let p = fact.table.geo(*point_attr, rid)?;
-                    points.push((id, p));
-                }
+                let points = if engine.is_compiled() {
+                    // Bind the columns once and gather over slices; a failed
+                    // geo binding falls back to the per-row path, which reports
+                    // the same error on the same row the interpreter would,
+                    // and a failed id binding falls back to the record id per
+                    // row, mirroring the interpreter's `unwrap_or`.
+                    match fact.table.geo_slice(*point_attr) {
+                        Ok(geo) => {
+                            let ids = fact.table.int_slice(*id_attr).ok();
+                            match (&qualified, par_threads > 1) {
+                                (Qualified::Bitmap(b), true) => {
+                                    parallel::gather_points_par(b, ids, geo, par_threads)
+                                }
+                                _ => {
+                                    let mut points = Vec::with_capacity(result_rows);
+                                    for rid in qualified.iter() {
+                                        let id = ids.map_or(rid as i64, |s| s[rid as usize]);
+                                        points.push((id, geo[rid as usize]));
+                                    }
+                                    points
+                                }
+                            }
+                        }
+                        Err(_) => gather_points_rows(
+                            fact.table,
+                            *id_attr,
+                            *point_attr,
+                            &qualified,
+                            result_rows,
+                        )?,
+                    }
+                } else {
+                    gather_points_rows(fact.table, *id_attr, *point_attr, &qualified, result_rows)?
+                };
                 QueryResult::Points(points)
             } else {
                 QueryResult::Count(result_rows as u64)
@@ -409,13 +560,18 @@ pub fn execute_with(
                 // falls back to the per-row path, which reports the same error
                 // the interpreter would.
                 match fact.table.geo_slice(*point_attr) {
-                    Ok(geo) => compiled::bin_counts_iter(
-                        grid,
-                        geo,
-                        qualified.iter(),
-                        result_rows,
-                        materialize,
-                    ),
+                    Ok(geo) => match (&qualified, par_threads > 1) {
+                        (Qualified::Bitmap(b), true) => {
+                            parallel::bin_counts_par(grid, geo, b, materialize, par_threads)
+                        }
+                        _ => compiled::bin_counts_iter(
+                            grid,
+                            geo,
+                            qualified.iter(),
+                            result_rows,
+                            materialize,
+                        ),
+                    },
                     Err(_) => binned_accum(
                         fact.table,
                         *point_attr,
@@ -468,6 +624,26 @@ fn compile_residual<'a>(
     } else {
         None
     }
+}
+
+/// Interpreter-path `Points` materialisation: per-row accessors with error
+/// propagation, also the compiled engines' fallback when the geo column fails
+/// to bind (so the binding error surfaces on the same row it would on the
+/// interpreter).
+fn gather_points_rows(
+    table: &Table,
+    id_attr: usize,
+    point_attr: usize,
+    qualified: &Qualified,
+    result_rows: usize,
+) -> Result<Vec<(i64, GeoPoint)>> {
+    let mut points = Vec::with_capacity(result_rows);
+    for rid in qualified.iter() {
+        let id = table.int(id_attr, rid).unwrap_or(rid as i64);
+        let p = table.geo(point_attr, rid)?;
+        points.push((id, p));
+    }
+    Ok(points)
 }
 
 /// Interpreter-path binning: per-row geo access with error propagation, then
@@ -803,6 +979,13 @@ pub(crate) fn eval_predicate(pred: &Predicate, table: &Table, rid: RecordId) -> 
 
 /// Executes the join of qualifying fact rows with the dimension table and returns the
 /// fact rows whose dimension match passes the dimension predicates.
+///
+/// On the compiled engines the dimension predicates are lowered once via
+/// [`compiled::compile_predicates`] and evaluated with [`compiled::eval_row`]
+/// (same per-predicate `filter_evals` charge, same short-circuit order); a
+/// failed compilation falls back to the interpreter loop so error behaviour
+/// is identical per row.
+#[allow(clippy::too_many_arguments)]
 fn execute_join(
     _query: &Query,
     method: JoinMethod,
@@ -810,9 +993,16 @@ fn execute_join(
     fact_rows: &[RecordId],
     fact: &ExecTable<'_>,
     dim: &ExecTable<'_>,
+    engine: ExecEngine,
     work: &mut WorkProfile,
 ) -> Result<Vec<RecordId>> {
     let dim_rows = dim.table.row_count();
+    let right_indices: Vec<usize> = (0..spec.right_predicates.len()).collect();
+    let compiled_right = if engine.is_compiled() {
+        compiled::compile_predicates(&spec.right_predicates, &right_indices, dim.table).ok()
+    } else {
+        None
+    };
     // Resolve keyword tokens of the dimension predicates once, not per dim row.
     let right_tokens: Vec<Option<TokenId>> = spec
         .right_predicates
@@ -820,6 +1010,9 @@ fn execute_join(
         .map(|p| resolve_keyword_token(p, dim.table))
         .collect();
     let eval_right = |rid: RecordId, work: &mut WorkProfile| -> Result<bool> {
+        if let Some(preds) = &compiled_right {
+            return Ok(compiled::eval_row(preds, rid, work));
+        }
         for (pred, &token) in spec.right_predicates.iter().zip(&right_tokens) {
             work.filter_evals += 1;
             if !eval_resolved(pred, token, dim.table, rid)? {

@@ -1,0 +1,663 @@
+//! Morsel-driven parallel execution for the compiled bitmap engine.
+//!
+//! [`ExecEngine::ParallelBitmap`](super::ExecEngine::ParallelBitmap) splits a
+//! query's record space into **chunk-aligned morsels** (multiples of the
+//! 4096-bit [`SelectionBitmap`] chunk), hands them to a small worker crew over
+//! a work-stealing claim cursor, and merges each worker's **private partial
+//! accumulators** — chunk word arrays, dense bin-count partials, per-morsel
+//! [`WorkProfile`] deltas — in deterministic morsel order.
+//!
+//! ## Determinism contract
+//!
+//! Every observable of a parallel execution — the `QueryResult` bytes, the
+//! `WorkProfile`, the simulated time derived from it, and the plan — is
+//! byte-identical to the sequential `CompiledBitmap` engine at *any* thread
+//! count. The contract holds by construction, not by tolerance:
+//!
+//! * morsel boundaries coincide with the sequential pass's chunk (and
+//!   [`BATCH_ROWS`] batch) boundaries, so per-chunk charges are unchanged;
+//! * workers only share the claim cursor and the poison flag — every
+//!   accumulator is private until the single-threaded merge;
+//! * partials merge in morsel order (bitmap chunks concatenate via
+//!   [`SelectionBitmap::append_disjoint`]; `WorkProfile` counters are exact
+//!   `u64` sums, so summation order cannot perturb them);
+//! * row-capped paths run **speculatively**: each morsel evaluates rows as if
+//!   it owned the whole cap, and the in-order merge cuts at the limit —
+//!   taking whole morsels while they fit, and deterministically re-running
+//!   the one crossing morsel with the exact remaining cap so the rows
+//!   *charged* match the sequential stop point bit for bit;
+//! * dense bin counts fold into per-worker partial vectors; `u64` addition is
+//!   exact and commutative, so worker claim order cannot show through.
+//!
+//! ## Scheduler and model checking
+//!
+//! The shared state is [`MorselRun`] — a claim cursor plus a poison flag on
+//! `vizdb::sync` facade atomics — and the worker loop is [`drain_worker`],
+//! which catches a morsel's panic, poisons the run (stopping further claims;
+//! in-flight morsels complete) and reports the payload with its morsel index
+//! so the merge can re-raise the *earliest* panic, exactly as a sequential
+//! pass would. Production drives the crew with `std::thread::scope` (exempt
+//! from the facade by the `vizdb::sync` contract; the calling thread
+//! participates as a worker, so `threads == 1` spawns nothing); the loomlite
+//! model suite (`tests/model_parallel.rs`) drives `MorselRun`/`drain_worker`
+//! directly via `sync::thread::spawn` under `--cfg maliva_model_check`,
+//! exploring dispatch, merge-order, poisoning and panic-survival schedules.
+//!
+//! [`SelectionBitmap`]: crate::bitmap::SelectionBitmap
+//! [`BATCH_ROWS`]: super::compiled::BATCH_ROWS
+
+use crate::bitmap::{SelectionBitmap, CHUNK_BITS};
+use crate::exec::compiled::{self, BinnedAccum, CompiledPredicate, BATCH_ROWS};
+use crate::query::BinGrid;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::timing::WorkProfile;
+use crate::types::{GeoPoint, RecordId};
+
+/// Rows per sequential-scan morsel: one bitmap chunk. Chunk alignment keeps
+/// every per-chunk charge and container boundary identical to the sequential
+/// pass; one 4096-row unit is fine-grained enough for the claim cursor to
+/// load-balance a 40k-row scan across eight workers.
+pub(crate) const MORSEL_ROWS: usize = CHUNK_BITS;
+
+/// Candidate chunks per bitmap-refinement (and binning / gather) morsel.
+pub(crate) const MORSEL_CHUNKS: usize = 1;
+
+/// Ids per slice/stream morsel — a multiple of [`BATCH_ROWS`] so morsel
+/// boundaries coincide with the sequential engine's batch boundaries.
+pub(crate) const MORSEL_IDS: usize = 4 * BATCH_ROWS;
+
+/// A morsel's outcome: the computed value, or the panic payload caught while
+/// computing it.
+pub type MorselResult<T> = Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+/// The scheduler state one parallel run shares between workers: a
+/// monotonically increasing claim cursor (each morsel index is handed out
+/// exactly once) and a poison flag raised when any morsel panics.
+///
+/// Built on the [`crate::sync`] facade so the loomlite model checker can
+/// explore its interleavings under `--cfg maliva_model_check`.
+pub struct MorselRun {
+    cursor: AtomicUsize,
+    poisoned: AtomicBool,
+}
+
+impl MorselRun {
+    /// A fresh run with no morsels claimed.
+    pub fn new() -> Self {
+        Self {
+            cursor: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the next unclaimed morsel index below `total`, or `None` when
+    /// the run is exhausted or poisoned. The `fetch_add` hands out each index
+    /// to exactly one caller.
+    pub fn claim(&self, total: usize) -> Option<usize> {
+        if self.poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (idx < total).then_some(idx)
+    }
+
+    /// Stops further claims; morsels already claimed run to completion.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`MorselRun::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+}
+
+impl Default for MorselRun {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One worker's loop: claim morsels until the run is exhausted or poisoned,
+/// run `f` on each under `catch_unwind`, and return the `(index, outcome)`
+/// pairs in claim order. A panicking morsel poisons the run (other workers
+/// stop claiming *new* morsels, in-flight ones complete) and ends this
+/// worker's loop with the payload recorded under its morsel index, so the
+/// merge can re-raise the earliest panic deterministically.
+///
+/// This is the scheduler unit the loomlite model suite drives directly.
+pub fn drain_worker<T, F>(run: &MorselRun, total: usize, f: &F) -> Vec<(usize, MorselResult<T>)>
+where
+    F: Fn(usize) -> T + ?Sized,
+{
+    let mut out = Vec::new();
+    while let Some(idx) = run.claim(total) {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(idx))) {
+            Ok(v) => out.push((idx, Ok(v))),
+            Err(payload) => {
+                run.poison();
+                out.push((idx, Err(payload)));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs `f` over every morsel index in `0..total` on up to `threads` workers
+/// (the calling thread is one of them) and returns the results **in morsel
+/// order**. If any morsel panicked, the earliest morsel's payload is re-raised
+/// after all workers have joined — the same panic a sequential left-to-right
+/// pass would surface, with no worker thread leaked.
+pub(crate) fn run_morsels<T, F>(total: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(total);
+    if workers <= 1 {
+        return (0..total).map(f).collect();
+    }
+    let run = MorselRun::new();
+    let mut parts: Vec<(usize, MorselResult<T>)> = Vec::with_capacity(total);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| s.spawn(|| drain_worker(&run, total, &f)))
+            .collect();
+        parts.extend(drain_worker(&run, total, &f));
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.extend(part),
+                // A worker can only die outside `catch_unwind` on claim/poison
+                // bookkeeping, which does not panic; fold it in defensively so
+                // the payload still surfaces rather than being dropped.
+                Err(payload) => parts.push((usize::MAX, Err(payload))),
+            }
+        }
+    });
+    // Claims are handed out in increasing order, so every index below a
+    // claimed one was claimed; sorting by morsel index therefore yields a
+    // gapless prefix up to the earliest panic (if any).
+    parts.sort_by_key(|&(idx, _)| idx);
+    let mut out = Vec::with_capacity(total);
+    for (_, r) in parts {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Folds morsel indices into per-worker private accumulators and returns one
+/// accumulator per worker, in no particular order. **Only for merges that are
+/// exact and commutative** (dense `u64` bin counts): which worker claimed
+/// which morsel is schedule-dependent, so anything order- or
+/// grouping-sensitive must use [`run_morsels`] instead. Panics poison the run
+/// and re-raise after all workers join, like [`run_morsels`].
+pub(crate) fn run_morsels_fold<A, I, F>(total: usize, threads: usize, init: I, fold: F) -> Vec<A>
+where
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, usize) + Sync,
+{
+    let workers = threads.min(total);
+    if workers <= 1 {
+        let mut acc = init();
+        for m in 0..total {
+            fold(&mut acc, m);
+        }
+        return vec![acc];
+    }
+    let run = MorselRun::new();
+    let drain_fold = |run: &MorselRun| -> MorselResult<A> {
+        let mut acc = init();
+        while let Some(idx) = run.claim(total) {
+            let step =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fold(&mut acc, idx)));
+            if let Err(payload) = step {
+                run.poison();
+                return Err(payload);
+            }
+        }
+        Ok(acc)
+    };
+    let mut accs: Vec<MorselResult<A>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers).map(|_| s.spawn(|| drain_fold(&run))).collect();
+        accs.push(drain_fold(&run));
+        for h in handles {
+            match h.join() {
+                Ok(acc) => accs.push(acc),
+                Err(payload) => accs.push(Err(payload)),
+            }
+        }
+    });
+    let mut out = Vec::with_capacity(workers);
+    for r in accs {
+        match r {
+            Ok(a) => out.push(a),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Number of [`MORSEL_ROWS`]-aligned morsels covering `rows`.
+fn range_morsel_count(rows: &std::ops::Range<RecordId>) -> usize {
+    if rows.start >= rows.end {
+        return 0;
+    }
+    let first = rows.start as usize / MORSEL_ROWS;
+    let last = (rows.end as usize - 1) / MORSEL_ROWS;
+    last - first + 1
+}
+
+/// The sub-range morsel `m` of `rows` covers (boundaries at absolute
+/// [`MORSEL_ROWS`] multiples, so splits always land on chunk boundaries).
+fn range_morsel(rows: &std::ops::Range<RecordId>, m: usize) -> std::ops::Range<RecordId> {
+    let first = rows.start as usize / MORSEL_ROWS;
+    let lo = ((first + m) * MORSEL_ROWS) as RecordId;
+    let hi = ((first + m + 1) * MORSEL_ROWS) as RecordId;
+    rows.start.max(lo)..rows.end.min(hi)
+}
+
+/// Parallel [`compiled::qualify_range_bitmap`]: each morsel runs the
+/// sequential chunk loop over its chunk-aligned sub-range into a private
+/// bitmap + `WorkProfile`, merged in morsel order.
+pub(crate) fn qualify_range_bitmap_par(
+    preds: &[CompiledPredicate<'_>],
+    rows: std::ops::Range<RecordId>,
+    threads: usize,
+    work: &mut WorkProfile,
+    per_batch_rows: fn(&mut WorkProfile, u64),
+) -> SelectionBitmap {
+    let total = range_morsel_count(&rows);
+    let parts = run_morsels(total, threads, |m| {
+        let mut w = WorkProfile::default();
+        let bm = compiled::qualify_range_bitmap(
+            preds,
+            range_morsel(&rows, m),
+            MORSEL_ROWS.div_ceil(CHUNK_BITS),
+            &mut w,
+            per_batch_rows,
+        );
+        (bm, w)
+    });
+    let mut out = SelectionBitmap::new();
+    for (bm, w) in parts {
+        work.add(&w);
+        out.append_disjoint(bm);
+    }
+    out
+}
+
+/// Parallel [`compiled::qualify_bitmap`]: morsels are groups of candidate
+/// chunk positions; each chunk is refined independently, so concatenating the
+/// per-morsel results in position order is identical to one sequential pass.
+pub(crate) fn qualify_bitmap_par(
+    preds: &[CompiledPredicate<'_>],
+    candidates: &SelectionBitmap,
+    threads: usize,
+    work: &mut WorkProfile,
+    per_batch_rows: fn(&mut WorkProfile, u64),
+) -> SelectionBitmap {
+    let chunks = candidates.chunk_count();
+    let total = chunks.div_ceil(MORSEL_CHUNKS);
+    let parts = run_morsels(total, threads, |m| {
+        let lo = m * MORSEL_CHUNKS;
+        let hi = chunks.min(lo + MORSEL_CHUNKS);
+        let mut w = WorkProfile::default();
+        let bm = compiled::qualify_bitmap_range(
+            preds,
+            candidates,
+            lo..hi,
+            MORSEL_CHUNKS,
+            &mut w,
+            per_batch_rows,
+        );
+        (bm, w)
+    });
+    let mut out = SelectionBitmap::new();
+    for (bm, w) in parts {
+        work.add(&w);
+        out.append_disjoint(bm);
+    }
+    out
+}
+
+/// Parallel [`compiled::qualify_slice`]: morsels are [`MORSEL_IDS`]-sized
+/// sub-slices, so each morsel's internal [`BATCH_ROWS`] batches coincide with
+/// the sequential pass's batch boundaries.
+pub(crate) fn qualify_slice_par(
+    preds: &[CompiledPredicate<'_>],
+    rids: &[RecordId],
+    threads: usize,
+    qualifying: &mut Vec<RecordId>,
+    work: &mut WorkProfile,
+    per_batch_rows: fn(&mut WorkProfile, u64),
+) {
+    let total = rids.len().div_ceil(MORSEL_IDS);
+    let parts = run_morsels(total, threads, |m| {
+        let lo = m * MORSEL_IDS;
+        let hi = rids.len().min(lo + MORSEL_IDS);
+        let mut w = WorkProfile::default();
+        let mut ids = Vec::new();
+        compiled::qualify_slice(preds, &rids[lo..hi], &mut ids, &mut w, per_batch_rows);
+        (ids, w)
+    });
+    for (ids, w) in parts {
+        work.add(&w);
+        qualifying.extend_from_slice(&ids);
+    }
+}
+
+/// Speculative parallel execution of a row-capped scan. Each morsel runs the
+/// row-at-a-time capped loop as if it owned the whole cap; the in-order merge
+/// then reproduces the sequential stop point exactly:
+///
+/// * a morsel that found fewer matches than remain under the cap evaluated
+///   every one of its rows — exactly what the sequential pass would have done
+///   — so its ids and its private `WorkProfile` delta are taken wholesale;
+/// * the first morsel that covers the cut either stopped exactly at the cap
+///   (when nothing was taken before it, its speculative run *is* the
+///   sequential run) or is **re-run** against the true remaining cap, so the
+///   rows charged past the final match are identical to the sequential scan;
+/// * morsels past the cut are discarded — their speculative work touched only
+///   private accumulators.
+///
+/// `rows_of(m)` yields morsel `m`'s candidate rows in scan order; `row_charge`
+/// is the per-row-visited charge (`seq_rows` or `heap_fetches`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn qualify_capped_par<I, F>(
+    preds: &[CompiledPredicate<'_>],
+    total: usize,
+    rows_of: F,
+    cap: usize,
+    row_charge: fn(&mut WorkProfile),
+    threads: usize,
+    work: &mut WorkProfile,
+    qualifying: &mut Vec<RecordId>,
+) where
+    I: Iterator<Item = RecordId>,
+    F: Fn(usize) -> I + Sync,
+{
+    struct Part {
+        ids: Vec<RecordId>,
+        work: WorkProfile,
+    }
+    let parts = run_morsels(total, threads, |m| {
+        let mut w = WorkProfile::default();
+        let mut ids = Vec::new();
+        for rid in rows_of(m) {
+            row_charge(&mut w);
+            if compiled::eval_row(preds, rid, &mut w) {
+                ids.push(rid);
+                if ids.len() >= cap {
+                    break;
+                }
+            }
+        }
+        Part { ids, work: w }
+    });
+    let mut remaining = cap;
+    for (m, part) in parts.into_iter().enumerate() {
+        if part.ids.len() < remaining {
+            // Fewer matches than the remaining cap: the morsel evaluated all
+            // its rows, exactly as the sequential pass would have.
+            remaining -= part.ids.len();
+            work.add(&part.work);
+            qualifying.extend_from_slice(&part.ids);
+            continue;
+        }
+        if remaining == cap {
+            // The speculative run used this very cap and stopped at the
+            // cap-th match — its charges are the sequential ones.
+            work.add(&part.work);
+            qualifying.extend_from_slice(&part.ids);
+            return;
+        }
+        // The crossing morsel: it speculated past where the sequential scan
+        // stops. Re-run it against the true remaining cap; the morsel's rows
+        // and the predicate evaluations are deterministic, so this replay is
+        // the sequential execution of the cut (`part.ids.len() >= remaining`
+        // guarantees the replay fills the cap before the rows run out).
+        for rid in rows_of(m) {
+            row_charge(work);
+            if compiled::eval_row(preds, rid, work) {
+                qualifying.push(rid);
+                remaining -= 1;
+                if remaining == 0 {
+                    return;
+                }
+            }
+        }
+        return;
+    }
+}
+
+/// [`qualify_capped_par`] over a contiguous row range, split at the same
+/// [`MORSEL_ROWS`]-aligned boundaries as the uncapped range scan.
+pub(crate) fn qualify_capped_range_par(
+    preds: &[CompiledPredicate<'_>],
+    rows: std::ops::Range<RecordId>,
+    cap: usize,
+    row_charge: fn(&mut WorkProfile),
+    threads: usize,
+    work: &mut WorkProfile,
+    qualifying: &mut Vec<RecordId>,
+) {
+    let total = range_morsel_count(&rows);
+    qualify_capped_par(
+        preds,
+        total,
+        |m| range_morsel(&rows, m),
+        cap,
+        row_charge,
+        threads,
+        work,
+        qualifying,
+    );
+}
+
+/// [`qualify_capped_par`] over a candidate bitmap (chunk-position morsels, so
+/// rows enumerate ascending within and across morsels).
+pub(crate) fn qualify_capped_bitmap_par(
+    preds: &[CompiledPredicate<'_>],
+    candidates: &SelectionBitmap,
+    cap: usize,
+    row_charge: fn(&mut WorkProfile),
+    threads: usize,
+    work: &mut WorkProfile,
+    qualifying: &mut Vec<RecordId>,
+) {
+    let chunks = candidates.chunk_count();
+    let total = chunks.div_ceil(MORSEL_CHUNKS);
+    qualify_capped_par(
+        preds,
+        total,
+        |m| {
+            let lo = m * MORSEL_CHUNKS;
+            candidates.iter_chunks(lo..chunks.min(lo + MORSEL_CHUNKS))
+        },
+        cap,
+        row_charge,
+        threads,
+        work,
+        qualifying,
+    );
+}
+
+/// [`qualify_capped_par`] over an id slice ([`MORSEL_IDS`]-sized morsels; the
+/// capped loop is row-at-a-time, so any split point preserves charges).
+pub(crate) fn qualify_capped_slice_par(
+    preds: &[CompiledPredicate<'_>],
+    rids: &[RecordId],
+    cap: usize,
+    row_charge: fn(&mut WorkProfile),
+    threads: usize,
+    work: &mut WorkProfile,
+    qualifying: &mut Vec<RecordId>,
+) {
+    let total = rids.len().div_ceil(MORSEL_IDS);
+    qualify_capped_par(
+        preds,
+        total,
+        |m| {
+            let lo = m * MORSEL_IDS;
+            rids[lo..rids.len().min(lo + MORSEL_IDS)].iter().copied()
+        },
+        cap,
+        row_charge,
+        threads,
+        work,
+        qualifying,
+    );
+}
+
+/// Parallel dense binned-count accumulation over a qualified bitmap: workers
+/// fold chunk-position morsels into private per-cell `u64` count vectors,
+/// which merge by exact elementwise addition — claim order cannot show
+/// through. Grids failing the shared dense gate (and degenerate runs) take
+/// the sequential [`compiled::bin_counts_iter`] path unchanged.
+pub(crate) fn bin_counts_par(
+    grid: &BinGrid,
+    geo: &[GeoPoint],
+    qualified: &SelectionBitmap,
+    materialize: bool,
+    threads: usize,
+) -> BinnedAccum {
+    let cells = grid.cell_count();
+    let rows = qualified.len();
+    let chunks = qualified.chunk_count();
+    let total = chunks.div_ceil(MORSEL_CHUNKS);
+    if !compiled::dense_grid_gate(cells, rows) || threads <= 1 || total <= 1 {
+        // The sparse HashMap fallback has no cheap commutative merge; it (and
+        // the trivially small runs) stay sequential.
+        return compiled::bin_counts_iter(grid, geo, qualified.iter(), rows, materialize);
+    }
+    let partials = run_morsels_fold(
+        total,
+        threads,
+        || vec![0u64; cells],
+        |acc, m| {
+            let lo = m * MORSEL_CHUNKS;
+            let hi = chunks.min(lo + MORSEL_CHUNKS);
+            compiled::dense_bin_into(grid, geo, qualified.iter_chunks(lo..hi), acc);
+        },
+    );
+    let mut partials = partials.into_iter();
+    let mut counts = match partials.next() {
+        Some(c) => c,
+        None => vec![0u64; cells],
+    };
+    for p in partials {
+        for (c, v) in counts.iter_mut().zip(&p) {
+            *c += *v;
+        }
+    }
+    compiled::dense_accum_finish(&counts, materialize)
+}
+
+/// Parallel gather for the compiled `Points` output path: workers collect
+/// `(id, point)` pairs for chunk-position morsels of the qualified bitmap
+/// into private vectors, concatenated in morsel order. `ids` is the bound id
+/// column (`None` falls back to the record id, mirroring the interpreter's
+/// per-row `unwrap_or`).
+pub(crate) fn gather_points_par(
+    qualified: &SelectionBitmap,
+    ids: Option<&[i64]>,
+    geo: &[GeoPoint],
+    threads: usize,
+) -> Vec<(i64, GeoPoint)> {
+    let chunks = qualified.chunk_count();
+    let total = chunks.div_ceil(MORSEL_CHUNKS);
+    let parts = run_morsels(total, threads, |m| {
+        let lo = m * MORSEL_CHUNKS;
+        let hi = chunks.min(lo + MORSEL_CHUNKS);
+        let mut out = Vec::new();
+        for rid in qualified.iter_chunks(lo..hi) {
+            let id = ids.map_or(rid as i64, |s| s[rid as usize]);
+            out.push((id, geo[rid as usize]));
+        }
+        out
+    });
+    let mut points = Vec::with_capacity(qualified.len());
+    for p in parts {
+        points.extend_from_slice(&p);
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_morsels_returns_in_order_at_every_thread_count() {
+        for threads in [1, 2, 4, 8] {
+            let got = run_morsels(37, threads, |m| m * 3);
+            let want: Vec<usize> = (0..37).map(|m| m * 3).collect();
+            assert_eq!(got, want, "{threads} threads");
+        }
+        assert!(run_morsels(0, 4, |m| m).is_empty());
+    }
+
+    #[test]
+    fn run_morsels_fold_accumulates_every_index_once() {
+        for threads in [1, 2, 4, 8] {
+            let accs = run_morsels_fold(100, threads, Vec::new, |acc: &mut Vec<usize>, m| {
+                acc.push(m)
+            });
+            let mut all: Vec<usize> = accs.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn panicking_morsel_resumes_earliest_payload_after_join() {
+        for threads in [1, 2, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                run_morsels(16, threads, |m| {
+                    if m >= 5 {
+                        std::panic::panic_any(m);
+                    }
+                    m
+                })
+            });
+            let payload = caught.expect_err("must panic");
+            let &idx = payload.downcast_ref::<usize>().expect("usize payload");
+            // Workers may claim later morsels concurrently, but the merge must
+            // re-raise the earliest panicking index every time.
+            assert_eq!(idx, 5, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn poisoned_run_stops_claims() {
+        let run = MorselRun::new();
+        assert_eq!(run.claim(10), Some(0));
+        run.poison();
+        assert!(run.is_poisoned());
+        assert_eq!(run.claim(10), None);
+    }
+
+    #[test]
+    fn drain_worker_records_claim_order_and_panic() {
+        let run = MorselRun::new();
+        let f = |m: usize| {
+            if m == 2 {
+                std::panic::panic_any("boom");
+            }
+            m * 10
+        };
+        let parts = drain_worker(&run, 5, &f);
+        assert_eq!(parts.len(), 3); // 0, 1, then the panic at 2 stops the loop
+        assert!(matches!(parts[0], (0, Ok(0))));
+        assert!(matches!(parts[1], (1, Ok(10))));
+        assert!(parts[2].1.is_err() && parts[2].0 == 2);
+        assert!(run.is_poisoned());
+        assert_eq!(run.claim(5), None);
+    }
+}

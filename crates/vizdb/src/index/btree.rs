@@ -178,7 +178,9 @@ impl BPlusTree {
         if self.leaves.is_empty() || lo > hi {
             return (SelectionBitmap::new(), stats);
         }
-        let mut builder = BitmapBuilder::new();
+        // Record ids are row indices below the entry count, so the dense word
+        // array can be sized exactly up front — no growth during the leaf walk.
+        let mut builder = BitmapBuilder::with_universe(self.len);
         let mut matches = 0usize;
         let start_leaf = self.find_leaf(lo, &mut stats);
         for leaf in &self.leaves[start_leaf..] {

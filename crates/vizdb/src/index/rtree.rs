@@ -178,7 +178,9 @@ impl RTree {
     /// order afterwards.
     pub fn range_scan_bitmap(&self, rect: &GeoRect) -> (SelectionBitmap, ScanStats) {
         let mut stats = ScanStats::default();
-        let mut builder = BitmapBuilder::new();
+        // Record ids are row indices below the entry count, so the dense word
+        // array can be sized exactly up front — no growth during the traversal.
+        let mut builder = BitmapBuilder::with_universe(self.len);
         let mut matches = 0usize;
         if let Some(root) = &self.root {
             Self::scan_node_bitmap(root, rect, &mut builder, &mut matches, &mut stats);

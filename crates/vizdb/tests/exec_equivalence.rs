@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 use vizdb::approx::ApproxRule;
 use vizdb::hints::{HintSet, RewriteOption};
-use vizdb::query::{BinGrid, OutputKind, Predicate, Query};
+use vizdb::query::{BinGrid, JoinSpec, OutputKind, Predicate, Query};
 use vizdb::schema::{ColumnType, TableSchema};
 use vizdb::storage::TableBuilder;
 use vizdb::types::GeoRect;
@@ -45,6 +45,23 @@ fn build_db(points: &[(f64, f64)], keyword_every: usize) -> Database {
     db.build_all_indexes("events").unwrap();
     db.build_sample("events", 20).unwrap();
     db
+}
+
+/// Registers a `users` dimension table (ids `0..n`, a float rank) so join
+/// queries can exercise the compiled dimension-predicate path.
+fn register_users(db: &mut Database, n: usize) {
+    let schema = TableSchema::new("users")
+        .with_column("id", ColumnType::Int)
+        .with_column("rank", ColumnType::Float);
+    let mut b = TableBuilder::new(schema);
+    for i in 0..n as i64 {
+        b.push_row(|row| {
+            row.set_int("id", i);
+            row.set_float("rank", (i % 23) as f64);
+        });
+    }
+    db.register_table(b.build()).unwrap();
+    db.build_all_indexes("users").unwrap();
 }
 
 /// Runs `query` under `ro` through all three engines and asserts full
@@ -149,6 +166,37 @@ proptest! {
         };
         assert_engines_agree(&db, &query, &ro);
     }
+
+    /// Join queries: the dimension predicates are compiled on the compiled
+    /// engines (same `filter_evals` charges, same short-circuit order), so
+    /// engines stay identical across plan shapes, join selectivities and caps.
+    #[test]
+    fn compiled_matches_interpreter_on_joins(
+        points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 30..150),
+        mask in 0u32..8,
+        users in 5usize..60,
+        rank_hi in 1.0f64..25.0,
+        t_hi in 1i64..900,
+        limit in 0usize..50,
+    ) {
+        let mut db = build_db(&points, 3);
+        register_users(&mut db, users);
+        let mut query = Query::select("events")
+            .filter(Predicate::keyword(3, "hot"))
+            .filter(Predicate::time_range(1, 0, t_hi))
+            .join_with(JoinSpec {
+                right_table: "users".into(),
+                left_attr: 0,
+                right_attr: 0,
+                right_predicates: vec![Predicate::numeric_range(1, 0.0, rank_hi)],
+            })
+            .output(OutputKind::Count);
+        // `limit == 0` means uncapped; anything else exercises the capped path.
+        if limit > 0 {
+            query = query.limit(limit);
+        }
+        assert_engines_agree(&db, &query, &RewriteOption::hinted(HintSet::with_mask(mask)));
+    }
 }
 
 /// A type-mismatched predicate cannot compile; the compiled engine must fall
@@ -167,6 +215,26 @@ fn uncompilable_predicates_fall_back_identically() {
         .filter(Predicate::time_range(17, 0, 10))
         .output(OutputKind::Count);
     assert_engines_agree(&db, &oob, &RewriteOption::original());
+}
+
+/// An uncompilable dimension predicate must route the join's probe evaluation
+/// back to the interpreter, surfacing the identical per-row error.
+#[test]
+fn uncompilable_join_predicates_fall_back_identically() {
+    let mut db = build_db(&[(-100.0, 30.0), (-99.0, 31.0), (-98.0, 32.0)], 2);
+    register_users(&mut db, 10);
+    let q = Query::select("events")
+        .filter(Predicate::time_range(1, 0, 1000))
+        .join_with(JoinSpec {
+            right_table: "users".into(),
+            left_attr: 0,
+            right_attr: 0,
+            // Attribute 17 does not exist on `users`: the compiled lowering
+            // fails and the interpreter loop errors on the first probed row.
+            right_predicates: vec![Predicate::numeric_range(17, 0.0, 1.0)],
+        })
+        .output(OutputKind::Count);
+    assert_engines_agree(&db, &q, &RewriteOption::original());
 }
 
 /// Unknown keywords compile to an always-false predicate — same empty result on
