@@ -74,6 +74,6 @@ pub use error::{Error, Result};
 pub use exec::ExecEngine;
 pub use fault::{FaultInjectingBackend, FaultKind, FaultPlan};
 pub use sharded::{
-    BreakerState, CircuitBreaker, FaultCounters, FaultPolicy, PoolStats, ShardJob, ShardWorkerPool,
-    ShardedBackend, ShardedBackendBuilder,
+    BreakerState, CircuitBreaker, FaultCounters, FaultPolicy, PartitionScheme, PoolSnapshot,
+    PoolStats, RebalanceReport, ShardJob, ShardWorkerPool, ShardedBackend, ShardedBackendBuilder,
 };

@@ -4,25 +4,47 @@
 //! viewport queries down to partitioned executors and merging the per-partition
 //! aggregates. Maliva's heatmap aggregate (`BinnedCounts`) is exactly mergeable
 //! — every row lands in one grid cell, cells sum — so the backend can be split
-//! into N per-region [`Database`] shards by **longitude-range partitioning**
-//! (derived from the table's geo statistics) without changing any observable
-//! result:
+//! into N per-region [`Database`] shards by **2-D tile partitioning** (a
+//! lon×lat tile grid from the table's geo statistics, tiles ordered along a
+//! Z-order curve and assigned to shards in contiguous runs balanced by row
+//! count — see [`tiles`]) without changing any observable result:
 //!
-//! * a viewport query is fanned out **only to the shards its longitude interval
-//!   overlaps** (the spatial predicate and/or the binning grid extent), each
-//!   shard executing on its own thread;
+//! * a viewport query is fanned out **only to the shards owning a tile its
+//!   spatial window overlaps** — both the longitude *and* latitude intervals
+//!   of its spatial predicates and (for heatmaps) the binning grid extent
+//!   prune, so a latitude-only viewport no longer fans out everywhere;
 //! * per-shard `Bins` grids are merged by summing counts per cell — byte-identical
 //!   to the unsharded result; `Count`s sum; `Points` of a partitioned table are
 //!   returned in the **canonical distributed order** (sorted by `(id, lon, lat)`)
 //!   on every routing path, single- or multi-shard;
 //! * the merged execution time is the **slowest overlapping shard** (the shards
 //!   run in parallel), which is where the speedup over a single backend comes
-//!   from;
+//!   from — and balanced tile runs keep the slowest shard close to the mean
+//!   even on metro-hotspot workloads that saturate one equal-width stripe;
 //! * selectivity-style estimates compose as **row-count-weighted sums** over the
 //!   shards, so QTE feature vectors and Q-agent decisions stay well-defined: the
 //!   weighted sum of true selectivities is *exactly* the global true selectivity,
 //!   and estimated selectivities/cardinalities aggregate the per-shard optimizer
 //!   estimates the same way a distributed planner would.
+//!
+//! Two runtime load-balancing layers sit on top of the static layout:
+//!
+//! * the persistent worker pool **steals work** — an idle worker drains other
+//!   shards' queues instead of parking (see [`pool`]), so concurrent wide
+//!   viewports queued on one hot shard spread across every idle worker;
+//! * [`ShardedBackend::rebalance`] **splits hot shards** — cumulative
+//!   simulated-work accounting per shard and per tile (see [`rebalance`])
+//!   feeds an explicit, deterministic migration of the hottest shard's
+//!   most-worked tiles to the coldest shard, rebuilding both from the master
+//!   tables via [`Table::subset`] and bumping [`QueryBackend::generation`] so
+//!   decision caches invalidate. In-flight requests finish on the layout they
+//!   routed on (the shard set is behind an `RwLock`), and per-shard faults
+//!   during or after a migration reuse the same degrade-and-recover machinery
+//!   as any other shard fault.
+//!
+//! The legacy 1-D equal-width longitude layout survives as
+//! [`PartitionScheme::Lon1D`] (the degenerate `shards × 1` grid) for baselines
+//! and benchmarks.
 //!
 //! Tables without a geo column (dimension tables, TPC-H-style facts) are
 //! **replicated** into every shard so joins stay shard-local; queries rooted at a
@@ -36,11 +58,12 @@
 //!
 //! Results are **byte-identical** to the unsharded [`Database`] for *exact*
 //! rewrites without a row cap — the visualization workloads this repo serves
-//! (heatmap grids, viewport scatterplots, counts) — provided the `Points` id
-//! column preserves storage order (true for every dataset generator here;
-//! otherwise the sets are equal but the canonical order differs from the
-//! unsharded scan order). Row-capped queries follow standard **distributed
-//! LIMIT semantics** instead:
+//! (heatmap grids, viewport scatterplots, counts) — for every partitioning
+//! scheme, shard count, and tile→shard assignment, before and after any
+//! [`ShardedBackend::rebalance`], provided the `Points` id column preserves
+//! storage order (true for every dataset generator here; otherwise the sets
+//! are equal but the canonical order differs from the unsharded scan order).
+//! Row-capped queries follow standard **distributed LIMIT semantics** instead:
 //!
 //! * an explicit `query.limit` is applied *per shard* and re-applied at the
 //!   merge, so `Count` outputs stay exactly equal to the unsharded backend
@@ -57,11 +80,22 @@
 //!   expected kept fraction as the single backend, not a byte-identical row set
 //!   (it is an approximation rule; quality metrics measure it as such).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+mod pool;
+mod rebalance;
+mod tiles;
+
+pub use pool::{PoolSnapshot, ShardJob, ShardWorkerPool};
+pub use rebalance::RebalanceReport;
+pub use tiles::PartitionScheme;
+
+use rebalance::WorkLedger;
+use tiles::{QueryWindow, TablePartition};
+
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use crate::sync::{mpsc, thread, Condvar, Mutex};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{mpsc, Mutex, RwLock};
 
 use crate::approx::ApproxRule;
 use crate::backend::{ExecContext, FaultStats, QueryBackend, ResultQuality, RunReport};
@@ -76,28 +110,6 @@ use crate::schema::{ColumnType, TableSchema};
 use crate::stats::TableStats;
 use crate::storage::Table;
 use crate::timing::WorkProfile;
-use crate::types::RecordId;
-
-/// How one logical table is laid out across the shards.
-#[derive(Debug, Clone)]
-struct TablePartition {
-    /// Geo column the table is partitioned on; `None` for replicated tables.
-    geo_attr: Option<usize>,
-    /// Per-shard longitude range `[lo, hi]` (inclusive overlap tests). Empty for
-    /// replicated tables.
-    lon_bounds: Vec<(f64, f64)>,
-    /// Rows per shard (for replicated tables: the single replica's count).
-    shard_rows: Vec<usize>,
-}
-
-impl TablePartition {
-    fn is_replicated(&self) -> bool {
-        self.geo_attr.is_none()
-    }
-}
-
-/// A job dispatched to a shard worker thread.
-pub type ShardJob = Box<dyn FnOnce() + Send + 'static>;
 
 /// Renders a caught panic payload for [`Error::ShardPanic`].
 fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
@@ -107,116 +119,6 @@ fn panic_payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".into()
-    }
-}
-
-/// One worker's inbox: a mutex-protected deque, a condvar waking the worker,
-/// and a shutdown flag flipped when the pool is dropped.
-struct JobQueue {
-    jobs: Mutex<VecDeque<ShardJob>>,
-    ready: Condvar,
-    shutdown: AtomicBool,
-}
-
-/// The persistent shard worker pool: one dedicated thread per shard, spawned
-/// **once** when the backend is built and fed per-request jobs through
-/// per-shard queues. A multi-shard request pays a queue handshake per
-/// overlapping shard instead of a `std::thread::scope` spawn + join, and jobs
-/// for one shard always run on the same worker (shard affinity keeps that
-/// shard's tables hot in its core's cache).
-///
-/// Public so the model-check suite (`tests/model_sharded.rs`) can explore its
-/// dispatch/shutdown interleavings directly; not part of the stable API.
-pub struct ShardWorkerPool {
-    queues: Vec<Arc<JobQueue>>,
-    handles: Vec<thread::JoinHandle<()>>,
-    jobs_dispatched: AtomicU64,
-}
-
-impl ShardWorkerPool {
-    /// Spawns `workers` dedicated worker threads, one queue each.
-    pub fn start(workers: usize) -> Self {
-        let queues: Vec<Arc<JobQueue>> = (0..workers)
-            .map(|_| {
-                Arc::new(JobQueue {
-                    jobs: Mutex::with_name(VecDeque::new(), "shard-worker.jobs"),
-                    ready: Condvar::with_name("shard-worker.ready"),
-                    shutdown: AtomicBool::new(false),
-                })
-            })
-            .collect();
-        let handles = queues
-            .iter()
-            .cloned()
-            .map(|queue| {
-                thread::spawn(move || loop {
-                    let job = {
-                        let mut jobs = queue.jobs.lock();
-                        loop {
-                            if let Some(job) = jobs.pop_front() {
-                                break Some(job);
-                            }
-                            if queue.shutdown.load(Ordering::Acquire) {
-                                break None;
-                            }
-                            jobs = queue.ready.wait(jobs);
-                        }
-                    };
-                    match job {
-                        // A panicking job must not take the worker down with it:
-                        // this thread serves every future request for its shard,
-                        // and a dead worker would leave those requests parked in
-                        // `fan_out`'s receive loop forever. The panicked job's
-                        // result sender drops during unwinding, so the in-flight
-                        // request surfaces an internal error instead.
-                        Some(job) => {
-                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                        }
-                        None => return,
-                    }
-                })
-            })
-            .collect();
-        Self {
-            queues,
-            handles,
-            jobs_dispatched: AtomicU64::new(0),
-        }
-    }
-
-    /// Enqueues `job` on `shard`'s dedicated worker.
-    pub fn dispatch(&self, shard: usize, job: ShardJob) {
-        self.jobs_dispatched.fetch_add(1, Ordering::Relaxed);
-        let queue = &self.queues[shard];
-        queue.jobs.lock().push_back(job);
-        queue.ready.notify_one();
-    }
-
-    /// Worker threads (fixed at start).
-    pub fn workers(&self) -> usize {
-        self.queues.len()
-    }
-
-    /// Jobs dispatched since start.
-    pub fn jobs_dispatched(&self) -> u64 {
-        self.jobs_dispatched.load(Ordering::Relaxed)
-    }
-}
-
-impl Drop for ShardWorkerPool {
-    fn drop(&mut self) {
-        for queue in &self.queues {
-            // Flip the flag while holding the queue mutex: a worker checks
-            // `shutdown` under that lock right before parking in `wait`, so an
-            // unlocked store + notify could land in between and the wakeup
-            // would be lost, leaving `join` below blocked forever.
-            let _guard = queue.jobs.lock();
-            queue.shutdown.store(true, Ordering::Release);
-            queue.ready.notify_all();
-        }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
     }
 }
 
@@ -366,7 +268,8 @@ impl CircuitBreaker {
 /// All six counters live behind **one** mutex so [`FaultCounters::snapshot`]
 /// returns a single consistent [`FaultStats`]: with per-field atomics a
 /// snapshot taken during a concurrent fan-out could tear, e.g. observing a
-/// retry's failure counted but not the timeout it became. Public so the
+/// retry's failure counted but not the timeout it became. The pool's
+/// [`PoolSnapshot`] follows the same single-lock contract. Public so the
 /// model-check suite can pin that contract; not part of the stable API.
 #[derive(Debug, Default)]
 pub struct FaultCounters {
@@ -398,14 +301,27 @@ impl FaultCounters {
 }
 
 /// Observability over the persistent pool and the fault-handling layer around
-/// it: worker/job counts, cumulative retry/timeout/panic/breaker counters, and
-/// a per-shard snapshot of breaker states.
+/// it: worker/job/steal counts, per-shard job and queue-depth snapshots,
+/// cumulative retry/timeout/panic/breaker counters, and a per-shard snapshot of
+/// breaker states.
+///
+/// The pool fields (`jobs_dispatched`, `steals`, `shard_jobs`, `queue_depths`)
+/// come from one [`PoolSnapshot`] and the fault fields from one
+/// [`FaultCounters::snapshot`], so each group is internally untorn (see the
+/// consistency contracts on [`pool`] and [`FaultCounters`]); the two groups are
+/// two lock acquisitions and may straddle a concurrent request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PoolStats {
     /// Worker threads (fixed at build time, one per shard).
     pub workers: usize,
     /// Jobs dispatched through the per-shard queues since build.
     pub jobs_dispatched: u64,
+    /// Jobs executed by a worker other than the target shard's own.
+    pub steals: u64,
+    /// Jobs dispatched per shard since build.
+    pub shard_jobs: Vec<u64>,
+    /// Jobs currently queued (not yet picked up) per shard.
+    pub queue_depths: Vec<usize>,
     /// Shard attempts retried after a transient fault.
     pub retries: u64,
     /// Shard executions cut off by a deadline.
@@ -418,14 +334,31 @@ pub struct PoolStats {
     pub breaker_states: Vec<BreakerState>,
 }
 
+/// The shard decorator hook: wraps each per-shard backend at build time and at
+/// every rebalance-driven rebuild.
+type WrapFn = Arc<dyn Fn(usize, Arc<dyn QueryBackend>) -> Arc<dyn QueryBackend> + Send + Sync>;
+
+/// The swappable part of the backend: the per-shard databases and the table
+/// layouts that route over them. Requests hold a read lock across execution —
+/// in-flight requests finish on the layout they routed on, and
+/// [`ShardedBackend::rebalance`] swaps shards under the write lock.
+struct ShardSet {
+    shards: Vec<Arc<dyn QueryBackend>>,
+    partitions: HashMap<String, TablePartition>,
+}
+
 /// Builds a [`ShardedBackend`], mirroring the [`Database`] loading API
 /// (`register_table` / `build_index` / `build_sample`) shard-wise.
 pub struct ShardedBackendBuilder {
+    config: DbConfig,
+    scheme: PartitionScheme,
     shards: Vec<Database>,
     partitions: HashMap<String, TablePartition>,
     schemas: HashMap<String, TableSchema>,
     global_stats: HashMap<String, TableStats>,
     sample_fractions: HashMap<String, Vec<u32>>,
+    indexed: HashMap<String, Vec<String>>,
+    masters: HashMap<String, Table>,
     policy: FaultPolicy,
 }
 
@@ -437,10 +370,14 @@ impl ShardedBackendBuilder {
         let shards = shards.max(1);
         Self {
             shards: (0..shards).map(|_| Database::new(config.clone())).collect(),
+            config,
+            scheme: PartitionScheme::default(),
             partitions: HashMap::new(),
             schemas: HashMap::new(),
             global_stats: HashMap::new(),
             sample_fractions: HashMap::new(),
+            indexed: HashMap::new(),
+            masters: HashMap::new(),
             policy: FaultPolicy::default(),
         }
     }
@@ -451,14 +388,23 @@ impl ShardedBackendBuilder {
         self
     }
 
+    /// Overrides the partitioning scheme (default:
+    /// [`PartitionScheme::Tiles2D`] at [`PartitionScheme::DEFAULT_GRID_DIM`]).
+    /// Must be set **before** any [`Self::register_table`] call — tables are
+    /// partitioned at registration time.
+    pub fn with_partition_scheme(mut self, scheme: PartitionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
     /// Number of shards being built.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    /// Registers a table: geo tables are partitioned into longitude ranges
-    /// derived from their statistics (equal-width over the data's longitude
-    /// extent), geo-less tables are replicated into every shard.
+    /// Registers a table: geo tables are partitioned into balanced tile runs
+    /// derived from their statistics (see [`tiles`]), geo-less tables are
+    /// replicated into every shard.
     pub fn register_table(&mut self, table: &Table) -> Result<()> {
         let stats = TableStats::analyze(table)?;
         let name = table.name().to_string();
@@ -472,7 +418,7 @@ impl ShardedBackendBuilder {
 
         let partition = match geo_attr {
             Some(attr) => {
-                // Longitude extent from the (freshly analyzed) table statistics —
+                // Geo extent from the (freshly analyzed) table statistics —
                 // the same statistics a coordinator node would have.
                 let bounds = match stats.column(attr) {
                     Some(crate::stats::ColumnStats::Geo(geo)) => geo.bounds,
@@ -482,59 +428,25 @@ impl ShardedBackendBuilder {
                         )))
                     }
                 };
-                let (lo, hi) = if table.row_count() == 0 {
-                    (0.0, 0.0)
-                } else {
-                    (bounds.min_lon, bounds.max_lon)
-                };
-                let width = ((hi - lo) / n as f64).max(f64::EPSILON);
-                let shard_of =
-                    |lon: f64| -> usize { (((lon - lo) / width).floor() as usize).min(n - 1) };
-                let mut assignment: Vec<Vec<RecordId>> = vec![Vec::new(); n];
-                for rid in 0..table.row_count() as RecordId {
-                    let p = table.geo(attr, rid)?;
-                    assignment[shard_of(p.lon)].push(rid);
-                }
-                let mut shard_rows = Vec::with_capacity(n);
+                let (part, assignment) =
+                    TablePartition::partitioned(table, attr, bounds, n, self.scheme)?;
                 for (shard, keep) in self.shards.iter_mut().zip(&assignment) {
-                    shard_rows.push(keep.len());
                     shard.register_table(table.subset(keep)?)?;
                 }
-                // Pin the outer endpoints to the exact data extent: recomputing
-                // them as `lo + n·width` can round *below* `hi`, and a viewport
-                // starting exactly at the data's max longitude would then prune
-                // the shard that owns the max-lon rows.
-                let lon_bounds = (0..n)
-                    .map(|i| {
-                        let shard_lo = if i == 0 { lo } else { lo + i as f64 * width };
-                        let shard_hi = if i == n - 1 {
-                            hi.max(lo + n as f64 * width)
-                        } else {
-                            lo + (i + 1) as f64 * width
-                        };
-                        (shard_lo, shard_hi)
-                    })
-                    .collect();
-                TablePartition {
-                    geo_attr: Some(attr),
-                    lon_bounds,
-                    shard_rows,
-                }
+                part
             }
             None => {
                 for shard in &mut self.shards {
                     shard.register_table(table.clone())?;
                 }
-                TablePartition {
-                    geo_attr: None,
-                    lon_bounds: Vec::new(),
-                    shard_rows: vec![table.row_count(); n],
-                }
+                TablePartition::replicated(table.row_count(), n)
             }
         };
         self.partitions.insert(name.clone(), partition);
         self.schemas.insert(name.clone(), table.schema().clone());
-        self.global_stats.insert(name, stats);
+        self.global_stats.insert(name.clone(), stats);
+        // The master copy rebuilds shards after a tile migration.
+        self.masters.insert(name, table.clone());
         Ok(())
     }
 
@@ -543,13 +455,25 @@ impl ShardedBackendBuilder {
         for shard in &mut self.shards {
             shard.build_index(table, column)?;
         }
+        let cols = self.indexed.entry(table.to_string()).or_default();
+        if !cols.iter().any(|c| c == column) {
+            cols.push(column.to_string());
+        }
         Ok(())
     }
 
     /// Builds indexes on every column of `table` in every shard.
     pub fn build_all_indexes(&mut self, table: &str) -> Result<()> {
-        for shard in &mut self.shards {
-            shard.build_all_indexes(table)?;
+        let columns: Vec<String> = self
+            .schemas
+            .get(table)
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))?
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        for column in &columns {
+            self.build_index(table, column)?;
         }
         Ok(())
     }
@@ -578,33 +502,45 @@ impl ShardedBackendBuilder {
     /// Finalises the backend with each shard wrapped by `wrap(shard_index,
     /// shard)` — the composition hook that lets decorators (fault injection,
     /// instrumentation) sit between the fan-out machinery and the per-shard
-    /// databases without the backend knowing.
+    /// databases without the backend knowing. The hook is retained: a
+    /// [`ShardedBackend::rebalance`] rebuilds the migrated shards from the
+    /// master tables and re-wraps them through the same function.
     pub fn build_wrapped(
         self,
-        wrap: impl Fn(usize, Arc<dyn QueryBackend>) -> Arc<dyn QueryBackend>,
+        wrap: impl Fn(usize, Arc<dyn QueryBackend>) -> Arc<dyn QueryBackend> + Send + Sync + 'static,
     ) -> ShardedBackend {
+        let wrap: WrapFn = Arc::new(wrap);
         let shards: Vec<Arc<dyn QueryBackend>> = self
             .shards
             .into_iter()
             .enumerate()
             .map(|(i, db)| wrap(i, Arc::new(db) as Arc<dyn QueryBackend>))
             .collect();
-        let pool = ShardWorkerPool::start(shards.len());
-        let breakers = Arc::new(
-            (0..shards.len())
-                .map(|_| CircuitBreaker::new())
-                .collect::<Vec<_>>(),
-        );
+        let n = shards.len();
+        let pool = ShardWorkerPool::start(n);
+        let breakers = Arc::new((0..n).map(|_| CircuitBreaker::new()).collect::<Vec<_>>());
         ShardedBackend {
-            shards,
+            inner: RwLock::with_name(
+                ShardSet {
+                    shards,
+                    partitions: self.partitions,
+                },
+                "sharded.inner",
+            ),
             pool,
             breakers,
             faults: Arc::new(FaultCounters::default()),
             policy: self.policy,
-            partitions: self.partitions,
+            scheme: self.scheme,
+            config: self.config,
             schemas: self.schemas,
             global_stats: self.global_stats,
             sample_fractions: self.sample_fractions,
+            indexed: self.indexed,
+            masters: self.masters,
+            wrap,
+            work: Mutex::with_name(WorkLedger::new(n), "sharded.work"),
+            gen_extra: AtomicU64::new(0),
         }
     }
 
@@ -622,7 +558,16 @@ impl ShardedBackendBuilder {
     /// tables, indexes and sample fractions — ready for a policy override or a
     /// wrapped build.
     pub fn mirror_builder(db: &Database, shards: usize) -> Result<Self> {
-        let mut builder = Self::new(db.config().clone(), shards);
+        Self::mirror_builder_with_scheme(db, shards, PartitionScheme::default())
+    }
+
+    /// [`Self::mirror_builder`] under an explicit partitioning scheme.
+    pub fn mirror_builder_with_scheme(
+        db: &Database,
+        shards: usize,
+        scheme: PartitionScheme,
+    ) -> Result<Self> {
+        let mut builder = Self::new(db.config().clone(), shards).with_partition_scheme(scheme);
         for name in db.table_names() {
             builder.register_table(db.table(&name)?)?;
         }
@@ -645,6 +590,15 @@ impl ShardedBackendBuilder {
         Ok(Self::mirror_builder(db, shards)?.build())
     }
 
+    /// [`Self::mirror`] under an explicit partitioning scheme.
+    pub fn mirror_with_scheme(
+        db: &Database,
+        shards: usize,
+        scheme: PartitionScheme,
+    ) -> Result<ShardedBackend> {
+        Ok(Self::mirror_builder_with_scheme(db, shards, scheme)?.build())
+    }
+
     /// Mirrors `db` into `shards` fault-injected shards (see
     /// [`Self::build_with_faults`]).
     pub fn mirror_with_faults(
@@ -656,26 +610,106 @@ impl ShardedBackendBuilder {
     }
 }
 
+/// Dense merge buffers are capped at this many grid cells; larger heatmaps
+/// fall back to the sparse `BTreeMap` accumulator.
+const DENSE_MERGE_MAX_CELLS: usize = 1 << 20;
+
+/// The accumulator behind [`ShardedBackend::merge_outcomes`]'s bins path:
+/// dense (one slot per grid cell, sized once from the grid dims) for ordinary
+/// heatmaps, sparse for degenerate ones. Both emit only non-zero cells in
+/// ascending bin order, so the merged pairs are byte-identical either way —
+/// per-shard executors never produce zero-count bins.
+enum BinAcc {
+    Dense(Vec<u64>),
+    Sparse(BTreeMap<u32, u64>),
+}
+
+impl BinAcc {
+    fn for_output(output: &OutputKind) -> Self {
+        match output {
+            OutputKind::BinnedCounts { grid, .. } if grid.cell_count() <= DENSE_MERGE_MAX_CELLS => {
+                BinAcc::Dense(vec![0; grid.cell_count()])
+            }
+            _ => BinAcc::Sparse(BTreeMap::new()),
+        }
+    }
+
+    fn add(&mut self, bin: u32, c: u64) {
+        match self {
+            BinAcc::Dense(cells) => match cells.get_mut(bin as usize) {
+                Some(slot) => *slot += c,
+                // A bin outside the grid should be impossible; count it
+                // somewhere rather than silently dropping or panicking.
+                None => {
+                    let mut sparse: BTreeMap<u32, u64> = cells
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &v)| v > 0)
+                        .fold(BTreeMap::new(), |mut m, (i, &v)| {
+                            m.insert(i as u32, v);
+                            m
+                        });
+                    *sparse.entry(bin).or_insert(0) += c;
+                    *self = BinAcc::Sparse(sparse);
+                }
+            },
+            BinAcc::Sparse(map) => *map.entry(bin).or_insert(0) += c,
+        }
+    }
+
+    fn into_pairs(self) -> Vec<(u32, u64)> {
+        match self {
+            BinAcc::Dense(cells) => cells
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .map(|(i, c)| (i as u32, c))
+                .collect(),
+            BinAcc::Sparse(map) => map.into_iter().collect(),
+        }
+    }
+}
+
 /// N per-region [`Database`] shards behind the [`QueryBackend`] surface.
 ///
 /// Each shard is held as an `Arc<dyn QueryBackend>` so decorators (fault
 /// injection, instrumentation) compose underneath the fan-out machinery; a
 /// plain build wraps each [`Database`] directly.
 pub struct ShardedBackend {
-    shards: Vec<Arc<dyn QueryBackend>>,
-    /// Spawned once at build; fed per-request via per-shard job queues.
+    /// The shard set and table layouts. Read-locked across request execution,
+    /// write-locked only by [`Self::rebalance`].
+    inner: RwLock<ShardSet>,
+    /// Spawned once at build; fed per-request via per-shard queues with
+    /// work stealing (see [`pool`]).
     pool: ShardWorkerPool,
     /// One circuit breaker per shard, shared with in-flight pool jobs.
     breakers: Arc<Vec<CircuitBreaker>>,
     /// Cumulative fault counters across every request since build.
     faults: Arc<FaultCounters>,
     policy: FaultPolicy,
-    partitions: HashMap<String, TablePartition>,
+    /// The partitioning scheme geo tables were laid out under (fixed at build).
+    scheme: PartitionScheme,
+    /// Shard database configuration, for rebalance-driven rebuilds.
+    config: DbConfig,
     schemas: HashMap<String, TableSchema>,
     global_stats: HashMap<String, TableStats>,
     /// Sample fractions built per table, recorded at build time for the
-    /// degraded-path sampling fallback.
+    /// degraded-path sampling fallback and shard rebuilds.
     sample_fractions: HashMap<String, Vec<u32>>,
+    /// Indexed column names per table, recorded at build time for shard
+    /// rebuilds.
+    indexed: HashMap<String, Vec<String>>,
+    /// Master copies of every registered table — [`Table::subset`] sources for
+    /// rebalance-driven shard rebuilds.
+    masters: HashMap<String, Table>,
+    /// The decorator hook rebuilt shards are re-wrapped through.
+    wrap: WrapFn,
+    /// Per-shard / per-tile simulated-work accounting since the last rebalance.
+    /// Lock order: `inner` before `work`, everywhere.
+    work: Mutex<WorkLedger>,
+    /// Generation offset keeping [`QueryBackend::generation`] monotone across
+    /// rebalance-driven shard rebuilds (a fresh shard restarts its own count).
+    gen_extra: AtomicU64,
 }
 
 // Shared across serving threads exactly like a single database.
@@ -692,17 +726,18 @@ impl ShardedBackend {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.inner.read().shards.len()
     }
 
     /// Rows of `table` per shard (the replica count repeated for replicated
     /// tables).
     pub fn shard_row_counts(&self, table: &str) -> Result<Vec<usize>> {
-        Ok(self.partition(table)?.shard_rows.clone())
+        let set = self.inner.read();
+        Ok(Self::partition_of(&set, table)?.shard_rows.clone())
     }
 
-    fn partition(&self, table: &str) -> Result<&TablePartition> {
-        self.partitions
+    fn partition_of<'a>(set: &'a ShardSet, table: &str) -> Result<&'a TablePartition> {
+        set.partitions
             .get(table)
             .ok_or_else(|| Error::TableNotFound(table.to_string()))
     }
@@ -710,56 +745,52 @@ impl ShardedBackend {
     /// Shard-local execution answers a join only if every replica of the right
     /// table is complete: a partitioned right table would silently lose every
     /// cross-shard join pair, so such queries are rejected up front.
-    fn check_join_is_shard_local(&self, query: &Query) -> Result<()> {
+    fn check_join_is_shard_local(set: &ShardSet, query: &Query) -> Result<()> {
         if let Some(join) = &query.join {
-            if !self.partition(&join.right_table)?.is_replicated() {
+            if !Self::partition_of(set, &join.right_table)?.is_replicated() {
                 return Err(Error::InvalidQuery(format!(
                     "table {} is partitioned across {} shards and cannot be the right side \
                      of a shard-local join; replicate it (no geo column) or run unsharded",
                     join.right_table,
-                    self.shards.len()
+                    set.shards.len()
                 )));
             }
         }
         Ok(())
     }
 
-    /// The shards a query on `query.table` must be fanned out to: every shard
-    /// whose longitude range overlaps the query's longitude interval, derived
-    /// from its spatial predicates on the partition column and (for heatmaps)
-    /// the binning grid extent. Queries over replicated tables route to shard 0.
-    pub fn overlapping_shards(&self, query: &Query) -> Result<Vec<usize>> {
-        self.check_join_is_shard_local(query)?;
-        let part = self.partition(&query.table)?;
-        let attr = match part.geo_attr {
-            None => return Ok(vec![0]),
-            Some(attr) => attr,
-        };
-        let mut lon_lo = f64::NEG_INFINITY;
-        let mut lon_hi = f64::INFINITY;
+    /// The query's spatial window on partition column `attr`: the intersection
+    /// of its spatial-range predicates and (for heatmaps) the binning grid
+    /// extent, on **both** axes — rows outside either produce no output, so
+    /// shards entirely outside cannot contribute.
+    fn query_window(query: &Query, attr: usize) -> QueryWindow {
+        let mut w = QueryWindow::unconstrained();
         for pred in &query.predicates {
             if let Predicate::SpatialRange { attr: a, rect } = pred {
                 if *a == attr {
-                    lon_lo = lon_lo.max(rect.min_lon);
-                    lon_hi = lon_hi.min(rect.max_lon);
+                    w.narrow(rect);
                 }
             }
         }
         if let OutputKind::BinnedCounts { point_attr, grid } = &query.output {
-            // Rows outside the grid extent produce no bins, so shards entirely
-            // outside it cannot contribute to the merged heatmap.
             if *point_attr == attr {
-                lon_lo = lon_lo.max(grid.extent.min_lon);
-                lon_hi = lon_hi.min(grid.extent.max_lon);
+                w.narrow(&grid.extent);
             }
         }
-        let targets: Vec<usize> = part
-            .lon_bounds
-            .iter()
-            .enumerate()
-            .filter(|(_, &(lo, hi))| lo <= lon_hi && hi >= lon_lo)
-            .map(|(i, _)| i)
-            .collect();
+        w
+    }
+
+    /// The shards a query on `query.table` must be fanned out to: every shard
+    /// owning a tile the query's spatial window overlaps. Queries over
+    /// replicated tables route to shard 0.
+    fn route(set: &ShardSet, query: &Query) -> Result<Vec<usize>> {
+        Self::check_join_is_shard_local(set, query)?;
+        let part = Self::partition_of(set, &query.table)?;
+        let attr = match part.geo_attr {
+            None => return Ok(vec![0]),
+            Some(attr) => attr,
+        };
+        let targets = part.overlapping_shards(&Self::query_window(query, attr), set.shards.len());
         if targets.is_empty() {
             // The viewport misses the data entirely; one shard still runs the
             // query so overheads and the (empty) result shape are reported.
@@ -768,17 +799,26 @@ impl ShardedBackend {
         Ok(targets)
     }
 
+    /// Public view of [`Self::route`] for tests, benchmarks and fan-out
+    /// metrics.
+    pub fn overlapping_shards(&self, query: &Query) -> Result<Vec<usize>> {
+        Self::route(&self.inner.read(), query)
+    }
+
     /// Observability over the persistent pool and the fault-handling layer: see
     /// [`PoolStats`]. The worker count is fixed at build time — no per-request
-    /// thread spawns — while the job and fault counters grow with traffic.
+    /// thread spawns — while the job, steal and fault counters grow with
+    /// traffic.
     pub fn pool_stats(&self) -> PoolStats {
-        // One consistent snapshot of all fault counters: reading the fields
-        // through individual loads could tear against a concurrent fan-out
-        // (e.g. a retry counted whose eventual timeout is not yet).
+        // One consistent snapshot per counter group (see the PoolStats docs).
         let faults = self.faults.snapshot();
+        let pool = self.pool.snapshot();
         PoolStats {
             workers: self.pool.workers(),
-            jobs_dispatched: self.pool.jobs_dispatched(),
+            jobs_dispatched: pool.jobs_dispatched,
+            steals: pool.steals,
+            shard_jobs: pool.shard_jobs,
+            queue_depths: pool.queue_depths,
             retries: faults.retries,
             timeouts: faults.timeouts,
             panics: faults.panics,
@@ -792,6 +832,24 @@ impl ShardedBackend {
         self.policy
     }
 
+    /// The partitioning scheme geo tables were laid out under.
+    pub fn partition_scheme(&self) -> PartitionScheme {
+        self.scheme
+    }
+
+    /// Cumulative simulated milliseconds of shard work recorded since build or
+    /// the last [`Self::rebalance`] — the hot/cold signal the rebalancer acts
+    /// on, and the balance metric the `shard-skew` benchmark reports.
+    pub fn shard_work(&self) -> Vec<f64> {
+        self.work.lock().shard_ms.clone()
+    }
+
+    /// Shard executions recorded per shard since build or the last
+    /// [`Self::rebalance`].
+    pub fn shard_requests(&self) -> Vec<u64> {
+        self.work.lock().shard_requests.clone()
+    }
+
     /// Fans `f` out over the target shards, preserving shard order in the
     /// returned vector: the caller executes the first target inline and the
     /// persistent worker pool (spawned once when the backend is built) serves
@@ -801,20 +859,21 @@ impl ShardedBackend {
     /// shard's worker died before reporting (infrastructure failure, not a
     /// query error) — callers surface it as an internal error.
     fn fan_out<R: Send + 'static>(
-        &self,
+        pool: &ShardWorkerPool,
+        shards: &[Arc<dyn QueryBackend>],
         targets: &[usize],
         f: impl Fn(usize, &Arc<dyn QueryBackend>) -> R + Send + Sync + 'static,
     ) -> Vec<Option<R>> {
         if targets.len() == 1 {
-            return vec![Some(f(targets[0], &self.shards[targets[0]]))];
+            return vec![Some(f(targets[0], &shards[targets[0]]))];
         }
         let f = Arc::new(f);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         for (slot, &shard) in targets.iter().enumerate().skip(1) {
             let f = Arc::clone(&f);
-            let db = Arc::clone(&self.shards[shard]);
+            let db = Arc::clone(&shards[shard]);
             let tx = tx.clone();
-            self.pool.dispatch(
+            pool.dispatch(
                 shard,
                 Box::new(move || {
                     let _ = tx.send((slot, f(shard, &db)));
@@ -828,7 +887,7 @@ impl ShardedBackend {
         // executes the first target itself — under concurrent serving, every
         // in-flight request contributes its own thread instead of all of them
         // queueing behind the one worker a hot shard owns.
-        slots[0] = Some(f(targets[0], &self.shards[targets[0]]));
+        slots[0] = Some(f(targets[0], &shards[targets[0]]));
         // The receive loop ends when every job's sender is gone; a worker that
         // died mid-job leaves its slot empty.
         while let Ok((slot, result)) = rx.recv() {
@@ -934,7 +993,11 @@ impl ShardedBackend {
         degrade: bool,
         local: &Arc<FaultCounters>,
     ) -> Result<(RunOutcome, ResultQuality)> {
-        let targets = self.overlapping_shards(query)?;
+        // Held across the whole execution: in-flight requests complete on the
+        // layout they routed on; a concurrent rebalance waits for the write
+        // lock.
+        let set = self.inner.read();
+        let targets = Self::route(&set, query)?;
         // Shards run in parallel, so each gets the full remaining slice, not a
         // share of it.
         let deadline = ctx.deadline_ms();
@@ -944,7 +1007,7 @@ impl ShardedBackend {
                 shard,
                 Self::attempt_shard(
                     shard,
-                    &self.shards[shard],
+                    &set.shards[shard],
                     &self.breakers[shard],
                     self.policy,
                     local,
@@ -961,7 +1024,7 @@ impl ShardedBackend {
             let breakers = Arc::clone(&self.breakers);
             let policy = self.policy;
             let counters = Arc::clone(local);
-            let raw = self.fan_out(&targets, move |shard, backend| {
+            let raw = Self::fan_out(&self.pool, &set.shards, &targets, move |shard, backend| {
                 Self::attempt_shard(
                     shard,
                     backend,
@@ -987,8 +1050,9 @@ impl ShardedBackend {
                 .collect()
         };
 
-        let mut successes: Vec<(usize, RunOutcome)> = Vec::new();
-        let mut failures: Vec<(usize, Error)> = Vec::new();
+        // Pre-sized from the fan-out: no re-allocation while collecting.
+        let mut successes: Vec<(usize, RunOutcome)> = Vec::with_capacity(targets.len());
+        let mut failures: Vec<(usize, Error)> = Vec::with_capacity(targets.len());
         for (shard, result) in results {
             match result {
                 Ok(outcome) => successes.push((shard, outcome)),
@@ -996,6 +1060,9 @@ impl ShardedBackend {
                 Err(err) => return Err(err),
             }
         }
+        // Executed work happened whether or not the whole request degrades —
+        // it feeds the hot/cold signal behind `rebalance()`.
+        self.record_work(&set, query, &successes);
 
         if failures.is_empty() {
             if targets.len() == 1 {
@@ -1006,7 +1073,7 @@ impl ShardedBackend {
                 // order on *every* routing path, so a narrow (single-shard)
                 // viewport orders rows the same way a wide (merged) one does.
                 if let QueryResult::Points(points) = &mut outcome.result {
-                    if !self.partition(&query.table)?.is_replicated() {
+                    if !Self::partition_of(&set, &query.table)?.is_replicated() {
                         Self::canonicalise_points(points, query.limit);
                     }
                 }
@@ -1016,7 +1083,182 @@ impl ShardedBackend {
                 Self::merge_outcomes(query, successes.into_iter().map(|(_, o)| o).collect())?;
             return Ok((merged, ResultQuality::Full));
         }
-        self.degrade_to_survivors(query, ro, deadline, &targets, successes, failures, local)
+        self.degrade_to_survivors(
+            &set, query, ro, deadline, &targets, successes, failures, local,
+        )
+    }
+
+    /// Charges each successful shard execution's simulated time to the shard
+    /// and to the tiles of that shard the query window overlapped (see
+    /// [`rebalance`]). Replicated-table work is excluded: it cannot be
+    /// migrated, so it would only bias the hot/cold choice.
+    fn record_work(&self, set: &ShardSet, query: &Query, successes: &[(usize, RunOutcome)]) {
+        let Ok(part) = Self::partition_of(set, &query.table) else {
+            return;
+        };
+        let Some(attr) = part.geo_attr else {
+            return;
+        };
+        let w = Self::query_window(query, attr);
+        let tile_count = part.grid.tile_count();
+        let mut ledger = self.work.lock();
+        for (shard, outcome) in successes {
+            let tiles = part.overlapped_tiles_of_shard(&w, *shard);
+            ledger.record(&query.table, tile_count, *shard, &tiles, outcome.time_ms);
+        }
+    }
+
+    /// Splits the hottest shard: migrates its most-worked tiles to the coldest
+    /// shard until their recorded work halves, rebuilds both shards from the
+    /// master tables via [`Table::subset`] (indexes and samples re-built as at
+    /// registration), and bumps [`QueryBackend::generation`] so decision
+    /// caches invalidate. Returns `None` when there is nothing to do: fewer
+    /// than two shards, no recorded skew, or no movable (worked) tiles.
+    ///
+    /// Deterministic: the ledger is driven by simulated time, so the same
+    /// request sequence yields the same migration on every run. The decision
+    /// and the swap happen under the write lock — in-flight requests holding
+    /// the read lock finish on the old layout first.
+    pub fn rebalance(&self) -> Result<Option<RebalanceReport>> {
+        let mut set = self.inner.write();
+        let n = set.shards.len();
+        if n < 2 {
+            return Ok(None);
+        }
+        let ledger = self.work.lock().clone();
+        let (mut hot, mut cold) = (0usize, 0usize);
+        for s in 1..n {
+            if ledger.shard_ms[s] > ledger.shard_ms[hot] {
+                hot = s;
+            }
+            if ledger.shard_ms[s] < ledger.shard_ms[cold] {
+                cold = s;
+            }
+        }
+        if ledger.shard_ms[hot] <= ledger.shard_ms[cold] + 1e-12 {
+            return Ok(None);
+        }
+
+        let mut moved_tiles = 0usize;
+        let mut moved_rows = 0usize;
+        let mut moved_work_ms = 0.0f64;
+        let mut tables: Vec<String> = Vec::new();
+        let mut names: Vec<String> = set
+            .partitions
+            .iter()
+            .filter(|(_, p)| !p.is_replicated())
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        for name in &names {
+            let Some(part) = set.partitions.get_mut(name) else {
+                continue;
+            };
+            let tile_work = ledger.tile_work(name, part.grid.tile_count());
+            let work_of = |shard: usize| -> f64 {
+                part.tiles_of_shard(shard)
+                    .into_iter()
+                    .map(|t| tile_work[t])
+                    .sum()
+            };
+            let hot_total = work_of(hot);
+            let cold_total = work_of(cold);
+            // Move half the gap: enough to matter, bounded so the roles don't
+            // simply swap.
+            let target = (hot_total - cold_total) / 2.0;
+            if target <= 0.0 {
+                continue;
+            }
+            let mut movable: Vec<usize> = part
+                .tiles_of_shard(hot)
+                .into_iter()
+                .filter(|&t| tile_work[t] > 0.0)
+                .collect();
+            movable.sort_by(|&a, &b| tile_work[b].total_cmp(&tile_work[a]).then(a.cmp(&b)));
+            let mut moved_here = 0.0f64;
+            let mut any = false;
+            for t in movable {
+                if moved_here >= target {
+                    break;
+                }
+                part.owner[t] = cold;
+                moved_here += tile_work[t];
+                moved_tiles += 1;
+                moved_rows += part.tile_rows[t];
+                any = true;
+            }
+            if any {
+                part.recount_shard_rows(n);
+                moved_work_ms += moved_here;
+                tables.push(name.clone());
+            }
+        }
+        if tables.is_empty() {
+            return Ok(None);
+        }
+
+        // Rebuild the two affected shards from the master tables under the new
+        // owner map, re-wrapped through the same decorator hook as at build.
+        let before = self.gen_extra.load(Ordering::Relaxed)
+            + set.shards.iter().map(|s| s.generation()).sum::<u64>();
+        for &shard in &[hot, cold] {
+            let db = self.rebuild_shard(&set.partitions, shard, n)?;
+            set.shards[shard] = (self.wrap)(shard, Arc::new(db) as Arc<dyn QueryBackend>);
+        }
+        // A rebuilt shard restarts its generation count; keep the composed
+        // generation strictly increasing so stale cached decisions die.
+        let sum_new: u64 = set.shards.iter().map(|s| s.generation()).sum();
+        self.gen_extra
+            .store((before + 1).saturating_sub(sum_new), Ordering::Relaxed);
+        // The migration changed what each shard's work will be; old
+        // attribution no longer describes the new layout.
+        self.work.lock().reset();
+        Ok(Some(RebalanceReport {
+            from_shard: hot,
+            to_shard: cold,
+            moved_tiles,
+            moved_rows,
+            moved_work_ms,
+            tables,
+        }))
+    }
+
+    /// Rebuilds one shard's [`Database`] from the master tables under the
+    /// current partitions: partitioned tables via [`Table::subset`] of the
+    /// owner map's rows, replicated tables in full, indexes and samples as
+    /// recorded at build time.
+    fn rebuild_shard(
+        &self,
+        partitions: &HashMap<String, TablePartition>,
+        shard: usize,
+        shards: usize,
+    ) -> Result<Database> {
+        let mut db = Database::new(self.config.clone());
+        let mut names: Vec<&String> = self.masters.keys().collect();
+        names.sort();
+        for name in names {
+            let master = &self.masters[name];
+            let part = partitions
+                .get(name.as_str())
+                .ok_or_else(|| Error::Internal(format!("table {name} lost its partition")))?;
+            if part.is_replicated() {
+                db.register_table(master.clone())?;
+            } else {
+                let assignment = part.assign_rows(master, shards)?;
+                db.register_table(master.subset(&assignment[shard])?)?;
+            }
+            if let Some(cols) = self.indexed.get(name.as_str()) {
+                for col in cols {
+                    db.build_index(name, col)?;
+                }
+            }
+            if let Some(pcts) = self.sample_fractions.get(name.as_str()) {
+                for &pct in pcts {
+                    db.build_sample(name, pct)?;
+                }
+            }
+        }
+        Ok(db)
     }
 
     /// Builds the degraded answer: merge the surviving shards, try the sampling
@@ -1025,6 +1267,7 @@ impl ShardedBackend {
     #[allow(clippy::too_many_arguments)]
     fn degrade_to_survivors(
         &self,
+        set: &ShardSet,
         query: &Query,
         ro: &RewriteOption,
         deadline: Option<f64>,
@@ -1034,7 +1277,7 @@ impl ShardedBackend {
         local: &Arc<FaultCounters>,
     ) -> Result<(RunOutcome, ResultQuality)> {
         local.record(|s| s.degraded += 1);
-        let part = self.partition(&query.table)?;
+        let part = Self::partition_of(set, &query.table)?;
         let rows_of = |shard: usize| part.shard_rows.get(shard).copied().unwrap_or(0) as f64;
         let total: f64 = targets.iter().map(|&s| rows_of(s)).sum();
         let mut covered: f64 = successes.iter().map(|&(s, _)| rows_of(s)).sum();
@@ -1052,7 +1295,7 @@ impl ShardedBackend {
             let fallback_ro = RewriteOption::approximate(HintSet::none(), rule);
             for &(shard, _) in &failures {
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.shards[shard].run(query, &fallback_ro)
+                    set.shards[shard].run(query, &fallback_ro)
                 }));
                 if let Ok(Ok(mut outcome)) = attempt {
                     let kept = rule.kept_fraction();
@@ -1071,7 +1314,7 @@ impl ShardedBackend {
             // Every targeted shard failed and no fallback covered it: an empty
             // result of the query's shape, not a hard error — the serving layer
             // reports it as a zero-coverage degraded answer.
-            let plan = self.shards[targets[0]].plan(query, ro)?;
+            let plan = set.shards[targets[0]].plan(query, ro)?;
             let result = match &query.output {
                 OutputKind::BinnedCounts { .. } => QueryResult::Bins(Vec::new()),
                 OutputKind::Points { .. } => QueryResult::Points(Vec::new()),
@@ -1147,13 +1390,22 @@ impl ShardedBackend {
     /// the slowest shard (they ran in parallel), work as the total. An explicit
     /// `query.limit` was already applied per shard; re-applying it here makes
     /// `Count` outputs exactly equal to the unsharded backend (`min(Σ, limit)`)
-    /// and bounds `Points` at the requested size.
+    /// and bounds `Points` at the requested size. Merge buffers are pre-sized:
+    /// the bins accumulator once from the grid dims (see [`BinAcc`]), the
+    /// points vector from the summed per-shard lengths.
     fn merge_outcomes(query: &Query, outcomes: Vec<RunOutcome>) -> Result<RunOutcome> {
         let mut merged_time: f64 = 0.0;
         let mut merged_work = WorkProfile::default();
         let mut plan: Option<PhysicalPlan> = None;
-        let mut bins: BTreeMap<u32, u64> = BTreeMap::new();
-        let mut points: Vec<(i64, crate::types::GeoPoint)> = Vec::new();
+        let mut bins = BinAcc::for_output(&query.output);
+        let point_total: usize = outcomes
+            .iter()
+            .map(|o| match &o.result {
+                QueryResult::Points(p) => p.len(),
+                _ => 0,
+            })
+            .sum();
+        let mut points: Vec<(i64, crate::types::GeoPoint)> = Vec::with_capacity(point_total);
         let mut count: u64 = 0;
         for outcome in outcomes {
             merged_time = merged_time.max(outcome.time_ms);
@@ -1164,7 +1416,7 @@ impl ShardedBackend {
             match outcome.result {
                 QueryResult::Bins(pairs) => {
                     for (bin, c) in pairs {
-                        *bins.entry(bin).or_insert(0) += c;
+                        bins.add(bin, c);
                     }
                 }
                 QueryResult::Points(p) => points.extend(p),
@@ -1172,7 +1424,7 @@ impl ShardedBackend {
             }
         }
         let result = match &query.output {
-            OutputKind::BinnedCounts { .. } => QueryResult::Bins(bins.into_iter().collect()),
+            OutputKind::BinnedCounts { .. } => QueryResult::Bins(bins.into_pairs()),
             OutputKind::Points { .. } => {
                 Self::canonicalise_points(&mut points, query.limit);
                 QueryResult::Points(points)
@@ -1200,13 +1452,14 @@ impl ShardedBackend {
         table: &str,
         f: impl Fn(&dyn QueryBackend) -> Result<f64>,
     ) -> Result<f64> {
-        let part = self.partition(table)?;
+        let set = self.inner.read();
+        let part = Self::partition_of(&set, table)?;
         if part.is_replicated() {
-            return f(self.shards[0].as_ref());
+            return f(set.shards[0].as_ref());
         }
         let mut weighted = 0.0;
         let mut rows = 0usize;
-        for (shard, &shard_rows) in self.shards.iter().zip(&part.shard_rows) {
+        for (shard, &shard_rows) in set.shards.iter().zip(&part.shard_rows) {
             if shard_rows == 0 {
                 continue;
             }
@@ -1222,13 +1475,15 @@ impl ShardedBackend {
 
 impl QueryBackend for ShardedBackend {
     fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.partitions.keys().cloned().collect();
+        let set = self.inner.read();
+        let mut names: Vec<String> = set.partitions.keys().cloned().collect();
         names.sort();
         names
     }
 
     fn row_count(&self, table: &str) -> Result<usize> {
-        let part = self.partition(table)?;
+        let set = self.inner.read();
+        let part = Self::partition_of(&set, table)?;
         if part.is_replicated() {
             return Ok(part.shard_rows.first().copied().unwrap_or(0));
         }
@@ -1250,24 +1505,26 @@ impl QueryBackend for ShardedBackend {
     }
 
     fn indexed_columns(&self, table: &str) -> Result<Vec<usize>> {
-        self.shards[0].indexed_columns(table)
+        self.inner.read().shards[0].indexed_columns(table)
     }
 
     fn sample_len(&self, table: &str, fraction_pct: u32) -> Result<usize> {
-        let part = self.partition(table)?;
+        let set = self.inner.read();
+        let part = Self::partition_of(&set, table)?;
         if part.is_replicated() {
-            return self.shards[0].sample_len(table, fraction_pct);
+            return set.shards[0].sample_len(table, fraction_pct);
         }
         let mut total = 0usize;
-        for shard in &self.shards {
+        for shard in &set.shards {
             total += shard.sample_len(table, fraction_pct)?;
         }
         Ok(total)
     }
 
     fn plan(&self, query: &Query, ro: &RewriteOption) -> Result<PhysicalPlan> {
-        let targets = self.overlapping_shards(query)?;
-        self.shards[targets[0]].plan(query, ro)
+        let set = self.inner.read();
+        let targets = Self::route(&set, query)?;
+        set.shards[targets[0]].plan(query, ro)
     }
 
     fn run(&self, query: &Query, ro: &RewriteOption) -> Result<RunOutcome> {
@@ -1295,22 +1552,24 @@ impl QueryBackend for ShardedBackend {
         // The slowest-overlapping-shard time is a *simulated* quantity — computing
         // it needs no real parallelism, so don't pay a thread spawn per estimate
         // (planning and metrics loops call this once per hint set per query).
-        let targets = self.overlapping_shards(query)?;
+        let set = self.inner.read();
+        let targets = Self::route(&set, query)?;
         let mut slowest = 0.0f64;
         for &shard in &targets {
-            slowest = slowest.max(self.shards[shard].execution_time_ms(query, ro)?);
+            slowest = slowest.max(set.shards[shard].execution_time_ms(query, ro)?);
         }
         Ok(slowest)
     }
 
     fn estimated_cardinality(&self, query: &Query) -> Result<f64> {
-        self.check_join_is_shard_local(query)?;
-        let part = self.partition(&query.table)?;
+        let set = self.inner.read();
+        Self::check_join_is_shard_local(&set, query)?;
+        let part = Self::partition_of(&set, &query.table)?;
         if part.is_replicated() {
-            return self.shards[0].estimated_cardinality(query);
+            return set.shards[0].estimated_cardinality(query);
         }
         let mut total = 0.0;
-        for (shard, &rows) in self.shards.iter().zip(&part.shard_rows) {
+        for (shard, &rows) in set.shards.iter().zip(&part.shard_rows) {
             if rows == 0 {
                 continue;
             }
@@ -1333,13 +1592,14 @@ impl QueryBackend for ShardedBackend {
         pred: &Predicate,
         fraction_pct: u32,
     ) -> Result<(f64, usize)> {
-        let part = self.partition(table)?;
+        let set = self.inner.read();
+        let part = Self::partition_of(&set, table)?;
         if part.is_replicated() {
-            return self.shards[0].sample_selectivity(table, pred, fraction_pct);
+            return set.shards[0].sample_selectivity(table, pred, fraction_pct);
         }
         let mut matched = 0.0;
         let mut scanned = 0usize;
-        for shard in &self.shards {
+        for shard in &set.shards {
             let (sel, rows) = shard.sample_selectivity(table, pred, fraction_pct)?;
             matched += sel * rows as f64;
             scanned += rows;
@@ -1353,22 +1613,30 @@ impl QueryBackend for ShardedBackend {
     }
 
     fn render_sql(&self, query: &Query, ro: &RewriteOption) -> String {
-        self.shards[0].render_sql(query, ro)
+        self.inner.read().shards[0].render_sql(query, ro)
     }
 
     fn generation(&self) -> u64 {
-        self.shards.iter().map(|shard| shard.generation()).sum()
+        let set = self.inner.read();
+        self.gen_extra.load(Ordering::Relaxed)
+            + set
+                .shards
+                .iter()
+                .map(|shard| shard.generation())
+                .sum::<u64>()
     }
 
     fn clear_caches(&self) {
-        for shard in &self.shards {
+        let set = self.inner.read();
+        for shard in &set.shards {
             shard.clear_caches();
         }
     }
 
     fn cache_entry_counts(&self) -> (usize, usize) {
+        let set = self.inner.read();
         let mut totals = (0, 0);
-        for shard in &self.shards {
+        for shard in &set.shards {
             let (t, s) = shard.cache_entry_counts();
             totals.0 += t;
             totals.1 += s;
@@ -1376,14 +1644,13 @@ impl QueryBackend for ShardedBackend {
         totals
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fault::FaultKind;
     use crate::query::{BinGrid, JoinSpec, OutputKind, Predicate};
     use crate::storage::TableBuilder;
-    use crate::types::GeoRect;
+    use crate::types::{GeoRect, RecordId};
 
     /// A skewed bi-coastal table: 70% of rows near the west edge, 30% near the
     /// east, timestamps uniform, keyword "hot" on every 4th row.
@@ -1440,6 +1707,18 @@ mod tests {
 
     fn sharded(table: &Table, n: usize) -> ShardedBackend {
         let mut b = ShardedBackend::builder(DbConfig::default(), n);
+        b.register_table(table).unwrap();
+        b.build_all_indexes("events").unwrap();
+        b.build_sample("events", 20).unwrap();
+        b.build()
+    }
+
+    /// The legacy 1-D equal-width longitude layout, for tests pinning
+    /// stripe-specific routing (the 2-D default splits a longitude stripe
+    /// across latitude halves).
+    fn sharded_1d(table: &Table, n: usize) -> ShardedBackend {
+        let mut b = ShardedBackend::builder(DbConfig::default(), n)
+            .with_partition_scheme(PartitionScheme::Lon1D);
         b.register_table(table).unwrap();
         b.build_all_indexes("events").unwrap();
         b.build_sample("events", 20).unwrap();
@@ -1542,6 +1821,35 @@ mod tests {
         assert_eq!(outcome.result, QueryResult::Bins(vec![]));
     }
 
+    /// The 2-D grid routes on latitude too: a full-width, latitude-thin
+    /// viewport prunes shards, where the 1-D longitude stripes must fan out to
+    /// every shard. Both answers stay byte-identical to the unsharded backend.
+    #[test]
+    fn latitude_only_viewports_prune_shards() {
+        let table = build_table(2_000);
+        let reference = single_db(&table);
+        let band = viewport(GeoRect::new(-125.0, 30.0, -66.0, 31.0), 8, 4);
+        let ro = RewriteOption::original();
+
+        let tiles = sharded(&table, 4);
+        let pruned = tiles.overlapping_shards(&band).unwrap();
+        assert!(
+            pruned.len() < 4,
+            "2-D tiles must prune a latitude-thin viewport, got {pruned:?}"
+        );
+
+        let stripes = sharded_1d(&table, 4);
+        assert_eq!(
+            stripes.overlapping_shards(&band).unwrap().len(),
+            4,
+            "1-D longitude stripes cannot prune on latitude"
+        );
+
+        let expected = reference.run(&band, &ro).unwrap().result;
+        assert_eq!(expected, tiles.run(&band, &ro).unwrap().result);
+        assert_eq!(expected, stripes.run(&band, &ro).unwrap().result);
+    }
+
     /// Distributed LIMIT semantics: the per-shard cap is re-applied at the merge,
     /// so `Count` outputs stay exactly equal to the unsharded backend whether the
     /// cap binds (limit < qualifying) or not.
@@ -1566,13 +1874,14 @@ mod tests {
 
     /// Points of a partitioned table come back in the canonical distributed order
     /// on every routing path — a narrow viewport hitting one shard must order rows
-    /// exactly like a wide viewport that merges several.
+    /// exactly like a wide viewport that merges several. Checked under both
+    /// schemes; the single-shard premise needs the 1-D stripes (the 2-D grid
+    /// splits a longitude stripe across latitude halves).
     #[test]
     fn points_order_is_canonical_on_single_and_multi_shard_routes() {
         let table = build_table(1_200);
-        let backend = sharded(&table, 8);
         let ro = RewriteOption::original();
-        let points_of = |rect: GeoRect| {
+        let points_of = |backend: &ShardedBackend, rect: GeoRect| {
             let q = Query::select("events")
                 .filter(Predicate::spatial_range(2, rect))
                 .output(OutputKind::Points {
@@ -1584,20 +1893,25 @@ mod tests {
                 other => panic!("expected points, got {other:?}"),
             }
         };
-        let narrow = GeoRect::new(-120.5, 25.0, -119.5, 49.0); // one west shard
+        let narrow = GeoRect::new(-120.5, 25.0, -119.5, 49.0); // one west stripe
+        let wide = GeoRect::new(-125.0, 25.0, -66.0, 49.0);
+        let backend_1d = sharded_1d(&table, 8);
         assert!(
-            backend
+            backend_1d
                 .overlapping_shards(
                     &Query::select("events").filter(Predicate::spatial_range(2, narrow))
                 )
                 .unwrap()
                 .len()
                 == 1,
-            "test premise: the narrow viewport routes to exactly one shard"
+            "test premise: the narrow viewport routes to exactly one 1-D shard"
         );
+        let backend_2d = sharded(&table, 8);
         for points in [
-            points_of(narrow),
-            points_of(GeoRect::new(-125.0, 25.0, -66.0, 49.0)),
+            points_of(&backend_1d, narrow),
+            points_of(&backend_1d, wide),
+            points_of(&backend_2d, narrow),
+            points_of(&backend_2d, wide),
         ] {
             assert!(!points.is_empty());
             assert!(
@@ -1822,6 +2136,16 @@ mod tests {
                 "request {i} must dispatch exactly one job per overlapping shard beyond the \
                  caller-executed one"
             );
+            assert_eq!(
+                now.shard_jobs.iter().sum::<u64>(),
+                now.jobs_dispatched,
+                "per-shard job counts must account for every dispatch"
+            );
+            assert_eq!(
+                now.queue_depths,
+                vec![0; 4],
+                "no job may still be queued after its request returned"
+            );
         }
     }
 
@@ -1846,12 +2170,52 @@ mod tests {
         );
     }
 
+    /// An idle worker steals from another shard's queue: two jobs queued on
+    /// shard 0 of a two-worker pool run concurrently, so exactly one of them
+    /// was stolen by worker 1. The jobs block until released, making "both
+    /// started" a deterministic signal rather than a timing guess.
+    #[test]
+    fn idle_workers_steal_queued_jobs() {
+        let pool = ShardWorkerPool::start(2);
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<usize>();
+        let mut releases = Vec::new();
+        for job in 0..2usize {
+            let started = started_tx.clone();
+            let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+            releases.push(release_tx);
+            pool.dispatch(
+                0,
+                Box::new(move || {
+                    started.send(job).unwrap();
+                    // Hold the worker until the test has observed the steal.
+                    let _ = release_rx.recv_timeout(std::time::Duration::from_secs(5));
+                }),
+            );
+        }
+        for _ in 0..2 {
+            started_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("both shard-0 jobs must start concurrently — one on each worker");
+        }
+        // Both jobs are in flight while worker 0 owns only one of them.
+        let snap = pool.snapshot();
+        assert_eq!(snap.jobs_dispatched, 2);
+        assert_eq!(snap.shard_jobs, vec![2, 0], "both jobs targeted shard 0");
+        assert_eq!(snap.steals, 1, "the idle worker must have stolen one job");
+        assert_eq!(snap.queue_depths, vec![0, 0], "both jobs were picked up");
+        for release in releases {
+            let _ = release.send(());
+        }
+    }
+
     /// Single-shard routes bypass the pool entirely (the query runs inline on
     /// the caller's thread), so narrow viewports dispatch no jobs.
     #[test]
     fn single_shard_routes_bypass_the_pool() {
         let table = build_table(1_000);
-        let backend = sharded(&table, 8);
+        // The 1-D stripes make "one overlapping shard" easy to construct; the
+        // bypass logic is scheme-independent.
+        let backend = sharded_1d(&table, 8);
         let narrow = viewport(GeoRect::new(-120.3, 25.0, -119.9, 49.0), 4, 4);
         assert_eq!(backend.overlapping_shards(&narrow).unwrap().len(), 1);
         backend.run(&narrow, &RewriteOption::original()).unwrap();
@@ -1925,7 +2289,7 @@ mod tests {
                 .script(0, 1, FaultKind::Panic)
                 .script(0, 2, FaultKind::Panic),
         );
-        let backend = b.build_wrapped(|i, shard| {
+        let backend = b.build_wrapped(move |i, shard| {
             if i == 0 {
                 Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
             } else {
@@ -1958,7 +2322,7 @@ mod tests {
         b.build_all_indexes("events").unwrap();
         b.build_sample("events", 20).unwrap();
         let plan = Arc::new(FaultPlan::none(1).script(1, 0, FaultKind::Error));
-        let backend = b.build_wrapped(|i, shard| {
+        let backend = b.build_wrapped(move |i, shard| {
             if i == 1 {
                 Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
             } else {
@@ -2073,7 +2437,7 @@ mod tests {
         b.register_table(&table).unwrap();
         b.build_all_indexes("events").unwrap();
         let plan = Arc::new(FaultPlan::none(3).script(0, 0, FaultKind::Delay { extra_ms: 1e6 }));
-        let backend = b.build_wrapped(|i, shard| {
+        let backend = b.build_wrapped(move |i, shard| {
             if i == 0 {
                 Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
             } else {
@@ -2118,7 +2482,7 @@ mod tests {
             breaker_cooldown: 1,
         });
         let plan = Arc::new(FaultPlan::none(5).script(1, 0, FaultKind::Error));
-        let backend = b.build_wrapped(|i, shard| {
+        let backend = b.build_wrapped(move |i, shard| {
             if i == 1 {
                 Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
             } else {
@@ -2166,7 +2530,7 @@ mod tests {
                 .script(2, 1, FaultKind::Error)
                 .script(2, 2, FaultKind::Error),
         );
-        let backend = b.build_wrapped(|i, shard| {
+        let backend = b.build_wrapped(move |i, shard| {
             if i == 2 {
                 Arc::new(FaultInjectingBackend::new(shard, Arc::clone(&plan), i))
             } else {
@@ -2217,6 +2581,98 @@ mod tests {
             }
         );
         assert_eq!(report.outcome.result, QueryResult::Bins(Vec::new()));
+    }
+
+    /// Hot-shard splitting end to end: a hammered west-coast hotspot skews the
+    /// work ledger, `rebalance()` migrates tiles from the hottest shard to the
+    /// coldest, the generation strictly increases (decision caches die), rows
+    /// are conserved, and every viewport stays byte-identical to the unsharded
+    /// backend on the new layout.
+    #[test]
+    fn rebalance_migrates_hot_tiles_and_preserves_results() {
+        let table = build_table(2_400);
+        let reference = single_db(&table);
+        let backend = sharded(&table, 4);
+        let ro = RewriteOption::original();
+        let hotspot = viewport(GeoRect::new(-120.2, 29.5, -117.0, 40.0), 8, 8);
+        for _ in 0..6 {
+            backend.run(&hotspot, &ro).unwrap();
+        }
+        let work = backend.shard_work();
+        let max = work.iter().cloned().fold(0.0f64, f64::max);
+        let min = work.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max > min,
+            "test premise: the hotspot must skew the ledger, got {work:?}"
+        );
+
+        let gen_before = backend.generation();
+        let rows_before = backend.shard_row_counts("events").unwrap();
+        let report = backend
+            .rebalance()
+            .unwrap()
+            .expect("a skewed ledger must trigger a migration");
+        assert_ne!(report.from_shard, report.to_shard);
+        assert!(report.moved_tiles > 0);
+        assert!(report.moved_work_ms > 0.0);
+        assert_eq!(report.tables, vec!["events".to_string()]);
+        assert!(
+            backend.generation() > gen_before,
+            "a migration must invalidate decision caches"
+        );
+        let rows_after = backend.shard_row_counts("events").unwrap();
+        assert_eq!(
+            rows_after.iter().sum::<usize>(),
+            rows_before.iter().sum::<usize>(),
+            "a migration must conserve rows"
+        );
+        assert_ne!(rows_after, rows_before, "tiles must actually have moved");
+        assert_eq!(
+            backend.shard_work(),
+            vec![0.0; 4],
+            "the ledger resets after a migration"
+        );
+        // The reset ledger carries no skew signal, so an immediate second call
+        // is a no-op until fresh traffic accumulates.
+        assert_eq!(backend.rebalance().unwrap(), None);
+
+        // Byte-identity on the rebalanced layout, across routing shapes.
+        for rect in [
+            GeoRect::new(-125.0, 25.0, -66.0, 49.0),
+            GeoRect::new(-120.2, 29.5, -117.0, 40.0),
+            GeoRect::new(-121.0, 25.0, -116.0, 49.0),
+            GeoRect::new(-125.0, 30.0, -66.0, 31.0),
+        ] {
+            let q = viewport(rect, 8, 8);
+            assert_eq!(
+                reference.run(&q, &ro).unwrap().result,
+                backend.run(&q, &ro).unwrap().result,
+                "results diverged after rebalance for {rect:?}"
+            );
+        }
+        let count_q = Query::select("events")
+            .filter(Predicate::keyword(3, "hot"))
+            .output(OutputKind::Count);
+        assert_eq!(
+            reference.run(&count_q, &ro).unwrap().result,
+            backend.run(&count_q, &ro).unwrap().result
+        );
+    }
+
+    /// With no recorded traffic there is no hot shard, so `rebalance()` is a
+    /// no-op — on a fresh backend and on a single shard.
+    #[test]
+    fn rebalance_without_traffic_is_a_no_op() {
+        let table = build_table(600);
+        let backend = sharded(&table, 4);
+        let gen = backend.generation();
+        assert_eq!(backend.rebalance().unwrap(), None);
+        assert_eq!(
+            backend.generation(),
+            gen,
+            "a no-op must not bump generation"
+        );
+        assert_eq!(sharded(&table, 1).rebalance().unwrap(), None);
     }
 
     #[test]

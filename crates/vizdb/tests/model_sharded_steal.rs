@@ -1,0 +1,150 @@
+//! Model-check suite for the pool's **work-stealing** protocol: idle workers
+//! drain other shards' queues, and no interleaving of dispatchers, owners,
+//! stealers and shutdown may duplicate a job, lose one, or lose the wakeup
+//! that lets `Drop` join.
+//!
+//! Compiled only under `RUSTFLAGS='--cfg maliva_model_check'`; see
+//! `model_sync.rs` for the mechanics. Complements `model_sharded.rs`, which
+//! pins the pre-stealing dispatch/shutdown protocol and the fault-layer
+//! primitives.
+
+#![cfg(maliva_model_check)]
+
+use std::sync::Arc;
+
+use loomlite::{explore, Config};
+use vizdb::sync::atomic::{AtomicU64, Ordering};
+use vizdb::sync::thread;
+use vizdb::ShardWorkerPool;
+
+/// Exactly-once execution under stealing: every job queued on one hot shard of
+/// a two-worker pool runs exactly once — whichever worker (owner or stealer)
+/// picks it up — before `Drop` returns. A lost wakeup parks `join` forever,
+/// which the checker reports as a deadlock; a duplicated or lost job trips the
+/// per-job run counters.
+#[test]
+fn hot_shard_jobs_run_exactly_once_under_stealing() {
+    let report = explore(Config::random(21, 1000), || {
+        let pool = ShardWorkerPool::start(2);
+        let runs: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        // All three jobs target shard 0: worker 1 has no local work and can
+        // only make progress by stealing.
+        for counter in &runs {
+            let counter = Arc::clone(counter);
+            pool.dispatch(
+                0,
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        drop(pool);
+        for (job, counter) in runs.iter().enumerate() {
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                1,
+                "job {job} must run exactly once (0 = lost, 2+ = duplicated)"
+            );
+        }
+    });
+    report.assert_ok();
+}
+
+/// Concurrent dispatch across shards: two dispatcher threads each enqueue onto
+/// a different shard while the workers run and steal; every job runs exactly
+/// once and the accounted totals match.
+#[test]
+fn concurrent_dispatchers_and_stealers_lose_nothing() {
+    let report = explore(Config::random(29, 1000), || {
+        let pool = Arc::new(ShardWorkerPool::start(2));
+        let ran = Arc::new(AtomicU64::new(0));
+        let dispatchers: Vec<_> = (0..2)
+            .map(|shard| {
+                let pool = Arc::clone(&pool);
+                let ran = Arc::clone(&ran);
+                thread::spawn(move || {
+                    let ran = Arc::clone(&ran);
+                    pool.dispatch(
+                        shard,
+                        Box::new(move || {
+                            ran.fetch_add(1, Ordering::SeqCst);
+                        }),
+                    );
+                })
+            })
+            .collect();
+        for d in dispatchers {
+            d.join().unwrap();
+        }
+        let snap = pool.snapshot();
+        assert_eq!(snap.jobs_dispatched, 2);
+        assert_eq!(snap.shard_jobs, vec![1, 1]);
+        drop(
+            Arc::try_unwrap(pool)
+                .unwrap_or_else(|_| panic!("dispatchers must have released the pool")),
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "a dispatched job never ran");
+    });
+    report.assert_ok();
+}
+
+/// Snapshot consistency under stealing: at every observable instant,
+/// `jobs_dispatched` equals the per-shard sums, and no job is simultaneously
+/// unaccounted (dispatched but in no queue *and* not yet run is fine — it is
+/// in a worker's hands — but the counters themselves may never tear).
+#[test]
+fn pool_snapshots_never_tear_under_stealing() {
+    let report = explore(Config::random(31, 1000), || {
+        let pool = Arc::new(ShardWorkerPool::start(2));
+        let reader = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let snap = pool.snapshot();
+                assert_eq!(
+                    snap.jobs_dispatched,
+                    snap.shard_jobs.iter().sum::<u64>(),
+                    "dispatch counters torn: total diverges from per-shard sum"
+                );
+                assert!(
+                    snap.steals <= snap.jobs_dispatched,
+                    "a steal was counted for a job that was never dispatched"
+                );
+            })
+        };
+        pool.dispatch(0, Box::new(|| {}));
+        pool.dispatch(0, Box::new(|| {}));
+        reader.join().unwrap();
+        drop(
+            Arc::try_unwrap(pool).unwrap_or_else(|_| panic!("reader must have released the pool")),
+        );
+    });
+    report.assert_ok();
+}
+
+/// The stealing shutdown protocol under bounded-exhaustive (DFS) search: every
+/// schedule with at most two preemptions of a two-worker pool with one
+/// stealable job, enumerated to the end — shutdown may never beat the steal
+/// scan to a queued job.
+#[test]
+fn stealing_shutdown_survives_exhaustive_search() {
+    let report = explore(Config::exhaustive(2, 20_000), || {
+        let pool = ShardWorkerPool::start(2);
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        // Target shard 0; under some schedules worker 1 steals it, under
+        // others worker 0 runs it, and shutdown must wait for either.
+        pool.dispatch(
+            0,
+            Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        drop(pool);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "the job was lost on shutdown"
+        );
+    });
+    report.assert_ok();
+}

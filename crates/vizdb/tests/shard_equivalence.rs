@@ -10,7 +10,7 @@ use vizdb::query::{BinGrid, OutputKind, Predicate, Query};
 use vizdb::schema::{ColumnType, TableSchema};
 use vizdb::storage::{Table, TableBuilder};
 use vizdb::types::GeoRect;
-use vizdb::{Database, DbConfig, QueryBackend, ShardedBackend};
+use vizdb::{Database, DbConfig, PartitionScheme, QueryBackend, ShardedBackend};
 
 fn build_table(points: &[(f64, f64)], with_keyword_every: usize) -> Table {
     let schema = TableSchema::new("events")
@@ -44,21 +44,36 @@ fn unsharded(table: &Table) -> Database {
 }
 
 fn sharded(table: &Table, shards: usize) -> ShardedBackend {
-    let mut builder = ShardedBackend::builder(DbConfig::default(), shards);
+    sharded_with_scheme(table, shards, PartitionScheme::default())
+}
+
+fn sharded_with_scheme(table: &Table, shards: usize, scheme: PartitionScheme) -> ShardedBackend {
+    let mut builder =
+        ShardedBackend::builder(DbConfig::default(), shards).with_partition_scheme(scheme);
     builder.register_table(table).unwrap();
     builder.build_all_indexes("events").unwrap();
     builder.build()
 }
 
+/// Every partitioning a backend can be built with: the legacy 1-D equal-width
+/// stripes and 2-D tile grids at several resolutions (including a 1×1 grid,
+/// the everything-on-one-shard degenerate case).
+const SCHEMES: [PartitionScheme; 4] = [
+    PartitionScheme::Lon1D,
+    PartitionScheme::Tiles2D { grid_dim: 1 },
+    PartitionScheme::Tiles2D { grid_dim: 7 },
+    PartitionScheme::Tiles2D { grid_dim: 64 },
+];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The headline invariant: merged heatmap grids are byte-identical for any
-    /// viewport, any shard count and any grid resolution.
+    /// viewport and grid resolution, under **every** partitioning — unsharded
+    /// vs 1-D stripes vs 2-D tile grids at 1, 2, 4 and 8 shards.
     #[test]
     fn binned_counts_are_byte_identical(
         points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 40..220),
-        shards in 1usize..=8,
         cols in 1u32..24,
         rows in 1u32..24,
         lon_a in -130.0f64..-60.0,
@@ -71,7 +86,6 @@ proptest! {
         let constrain = cols % 2 == 0;
         let table = build_table(&points, 4);
         let reference = unsharded(&table);
-        let backend = sharded(&table, shards);
 
         let rect = GeoRect::new(lon_a, lat_a, lon_a + lon_w, lat_a + lat_h);
         let mut query = Query::select("events").output(OutputKind::BinnedCounts {
@@ -83,8 +97,74 @@ proptest! {
         }
         let ro = vizdb::hints::RewriteOption::original();
         let expected = reference.run(&query, &ro).unwrap().result;
-        let got = backend.run(&query, &ro).unwrap().result;
-        prop_assert_eq!(expected, got);
+        for scheme in SCHEMES {
+            for shards in [1usize, 2, 4, 8] {
+                let backend = sharded_with_scheme(&table, shards, scheme);
+                let got = backend.run(&query, &ro).unwrap().result;
+                prop_assert!(
+                    expected == got,
+                    "diverged under {:?} at {} shards", scheme, shards
+                );
+            }
+        }
+    }
+
+    /// Byte-identity survives a hot-shard split: hammer one region to skew the
+    /// work ledger, `rebalance()`, and compare the exact same queries on the
+    /// migrated layout (plus counts, to cover a second output shape).
+    #[test]
+    fn rebalance_preserves_byte_identity(
+        points in proptest::collection::vec((-120.0f64..-70.0, 25.0f64..48.0), 60..220),
+        shards_idx in 0usize..3,
+        cols in 2u32..16,
+        rows in 2u32..16,
+        hot_lon in -119.0f64..-100.0,
+        hot_lat in 27.0f64..44.0,
+    ) {
+        let shards = [2usize, 4, 8][shards_idx];
+        let table = build_table(&points, 4);
+        let reference = unsharded(&table);
+        let backend = sharded(&table, shards);
+        let ro = vizdb::hints::RewriteOption::original();
+
+        let hotspot = GeoRect::new(hot_lon, hot_lat, hot_lon + 3.0, hot_lat + 3.0);
+        let everywhere = GeoRect::new(-125.0, 25.0, -66.0, 49.0);
+        let queries: Vec<Query> = [hotspot, everywhere]
+            .into_iter()
+            .map(|rect| {
+                Query::select("events")
+                    .filter(Predicate::spatial_range(2, rect))
+                    .output(OutputKind::BinnedCounts {
+                        point_attr: 2,
+                        grid: BinGrid::new(rect, cols, rows),
+                    })
+            })
+            .chain([Query::select("events")
+                .filter(Predicate::keyword(3, "hot"))
+                .output(OutputKind::Count)])
+            .collect();
+
+        // Skew the ledger toward whichever shards own the hotspot. A rebalance
+        // may legitimately be a no-op (e.g. the hotspot region holds no data);
+        // identity must hold either way.
+        for _ in 0..4 {
+            for query in &queries {
+                backend.run(query, &ro).unwrap();
+            }
+        }
+        backend.rebalance().unwrap();
+
+        for query in &queries {
+            prop_assert!(
+                reference.run(query, &ro).unwrap().result
+                    == backend.run(query, &ro).unwrap().result,
+                "diverged after rebalance at {} shards", shards
+            );
+        }
+        prop_assert_eq!(
+            reference.row_count("events").unwrap(),
+            backend.row_count("events").unwrap()
+        );
     }
 
     /// Counts sum exactly and row-count-weighted true selectivities reproduce the

@@ -208,10 +208,10 @@ const RULES: &[(&str, PathPredicate, LineCheck)] = &[
 /// request fan-out.
 fn is_hot_path(path: &str) -> bool {
     path.starts_with("crates/vizdb/src/exec/")
+        || path.starts_with("crates/vizdb/src/sharded/")
         || matches!(
             path,
-            "crates/vizdb/src/sharded.rs"
-                | "crates/vizdb/src/bitmap.rs"
+            "crates/vizdb/src/bitmap.rs"
                 | "crates/vizdb/src/index/posting.rs"
                 | "crates/core/src/online.rs"
                 | "crates/serve/src/server.rs"
@@ -227,16 +227,16 @@ fn is_simulated_time(path: &str) -> bool {
 /// Concurrent modules that must route every primitive through `vizdb::sync`
 /// (the facade itself is exempt — it *wraps* `std::sync`).
 fn is_facade_module(path: &str) -> bool {
-    matches!(
-        path,
-        "crates/vizdb/src/cache.rs"
-            | "crates/vizdb/src/backend.rs"
-            | "crates/vizdb/src/exec/parallel.rs"
-            | "crates/vizdb/src/fault.rs"
-            | "crates/vizdb/src/sharded.rs"
-            | "crates/serve/src/cache.rs"
-            | "crates/serve/src/server.rs"
-    )
+    path.starts_with("crates/vizdb/src/sharded/")
+        || matches!(
+            path,
+            "crates/vizdb/src/cache.rs"
+                | "crates/vizdb/src/backend.rs"
+                | "crates/vizdb/src/exec/parallel.rs"
+                | "crates/vizdb/src/fault.rs"
+                | "crates/serve/src/cache.rs"
+                | "crates/serve/src/server.rs"
+        )
 }
 
 fn check_no_panic(line: &str) -> Option<String> {
@@ -566,7 +566,7 @@ mod tests {
     #[test]
     fn mixed_arc_import_still_trips_the_facade_rule() {
         let src = "use std::sync::{Arc, Mutex};\n";
-        let findings = scan_source("crates/vizdb/src/sharded.rs", src);
+        let findings = scan_source("crates/vizdb/src/sharded/pool.rs", src);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "sync-facade");
     }
